@@ -1,0 +1,83 @@
+"""F10 — Figure 10: 99th-percentile latency on the finance server.
+
+Expected shape (Section 5.1): TPC lowest at every load; it beats Pred
+by up to ~40 % at light/moderate load (Pred is stuck at degree 2 for
+long requests) and beats AP by a large margin at high load (AP wastes
+CPU parallelizing short requests).  Paper spot values at 200 RPS:
+TPC P99 = 37 ms, AP = 77 ms, Pred = 46 ms, with on average 3.5
+concurrent requests in the system.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    bench_queries,
+    emit,
+)
+from repro.experiments import run_search_experiment
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import DEFAULT_RPS_GRID_FINANCE
+
+POLICIES = ("Sequential", "AP", "Pred", "TPC")
+
+
+_SWEEP_CACHE: dict[str, dict] = {}
+
+
+def run_finance_sweep(finance, finance_table, finance_server_config,
+                      finance_policy_config):
+    """Shared by Figures 10 and 11 (computed once per session)."""
+    if "sweep" in _SWEEP_CACHE:
+        return _SWEEP_CACHE["sweep"]
+    results = {}
+    for policy in POLICIES:
+        results[policy] = [
+            run_search_experiment(
+                finance, policy, rps, bench_queries(), BENCH_SEED,
+                target_table=finance_table,
+                server_config=finance_server_config,
+                policy_config=finance_policy_config,
+            )
+            for rps in DEFAULT_RPS_GRID_FINANCE
+        ]
+    _SWEEP_CACHE["sweep"] = results
+    return results
+
+
+def test_fig10_finance_p99(benchmark, finance, finance_table,
+                           finance_server_config, finance_policy_config):
+    results = benchmark.pedantic(
+        lambda: run_finance_sweep(
+            finance, finance_table, finance_server_config,
+            finance_policy_config,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [int(rps)] + [round(results[p][i].p99_ms, 1) for p in POLICIES]
+        for i, rps in enumerate(DEFAULT_RPS_GRID_FINANCE)
+    ]
+    emit(
+        "fig10_finance_p99",
+        format_table(
+            ["RPS", *POLICIES],
+            rows,
+            title="Figure 10 - finance server P99 (ms) vs load",
+        ),
+    )
+
+    for i, rps in enumerate(DEFAULT_RPS_GRID_FINANCE):
+        best_prior = min(results[p][i].p99_ms for p in POLICIES[:-1])
+        # TPC at or below the best prior policy at every load.
+        assert results["TPC"][i].p99_ms <= best_prior * 1.10, f"rps={rps}"
+        # TPC always clearly better than Sequential.
+        assert results["TPC"][i].p99_ms < results["Sequential"][i].p99_ms * 0.7
+    # TPC beats Pred substantially at light/moderate load (paper: 40 %).
+    i200 = DEFAULT_RPS_GRID_FINANCE.index(200)
+    assert results["TPC"][i200].p99_ms < results["Pred"][i200].p99_ms * 0.85
+    # TPC beats AP by a large margin at high load (paper: up to 50 %).
+    top = len(DEFAULT_RPS_GRID_FINANCE) - 1
+    assert results["TPC"][top].p99_ms < results["AP"][top].p99_ms * 0.7
+    # TPC reduces P99 over Sequential by ~half at 200 RPS (paper: 52 %).
+    reduction = 1 - results["TPC"][i200].p99_ms / results["Sequential"][i200].p99_ms
+    assert reduction > 0.45

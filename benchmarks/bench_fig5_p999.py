@@ -1,0 +1,42 @@
+"""F5 — Figure 5: 99.9th-percentile latency vs load, five policies.
+
+Expected shape (Section 4.3): Pred collapses at P99.9 — its
+mispredicted long queries (~0.5 % of all queries, more than 0.1 %)
+run sequentially and dominate this percentile — while TPC's dynamic
+correction keeps the very high tail low.  The paper reports up to 40 %
+reduction over the best prior work at moderate/high load.
+"""
+
+from conftest import emit, qps_grid
+from repro.experiments.report import format_table
+
+POLICIES = ("Sequential", "WQ-Linear", "AP", "Pred", "TPC")
+
+
+def test_fig5_p999_vs_load(benchmark, main_sweep):
+    sweep = benchmark.pedantic(lambda: main_sweep, rounds=1, iterations=1)
+    grid = qps_grid()
+    rows = [
+        [int(qps)] + [round(sweep[p][i].p999_ms, 1) for p in POLICIES]
+        for i, qps in enumerate(grid)
+    ]
+    emit(
+        "fig5_p999",
+        format_table(
+            ["QPS", *POLICIES],
+            rows,
+            title="Figure 5 - P99.9 latency (ms) vs load",
+        ),
+    )
+
+    for i in range(len(grid)):
+        # TPC holds the lowest (or tied-lowest) P99.9 at every load.
+        best_prior = min(sweep[p][i].p999_ms for p in POLICIES[:-1])
+        assert sweep["TPC"][i].p999_ms <= best_prior * 1.10, f"load index {i}"
+        # Pred is much worse than TPC at P99.9 — the mispredicted-long
+        # effect prediction alone cannot fix.
+        assert sweep["Pred"][i].p999_ms > sweep["TPC"][i].p999_ms * 1.25
+    # Pred's P99.9 approaches Sequential's (same mechanism: the
+    # mispredicted long queries run sequentially).
+    mid = len(grid) // 2
+    assert sweep["Pred"][mid].p999_ms > sweep["Sequential"][mid].p999_ms * 0.5

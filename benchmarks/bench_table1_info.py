@@ -1,0 +1,48 @@
+"""T1 — Table 1: information used by each parallelism policy."""
+
+from conftest import emit
+from repro.experiments.report import format_table
+from repro.policies.registry import POLICY_INFO
+
+
+def test_information_matrix(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            [
+                info.name,
+                "yes" if info.uses_prediction else "no",
+                "yes" if info.uses_system_load else "no",
+                "yes" if info.uses_parallelism_efficiency else "no",
+            ]
+            for info in POLICY_INFO.values()
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "table1_info",
+        format_table(
+            ["policy", "predicted exec. time", "system load", "para. efficiency"],
+            rows,
+            title="Table 1 - information used in parallelism policies",
+        ),
+    )
+    # The paper's exact matrix.
+    assert POLICY_INFO["TPC"].uses_prediction
+    assert POLICY_INFO["TPC"].uses_system_load
+    assert POLICY_INFO["TPC"].uses_parallelism_efficiency
+    assert (
+        not POLICY_INFO["AP"].uses_prediction
+        and POLICY_INFO["AP"].uses_system_load
+        and POLICY_INFO["AP"].uses_parallelism_efficiency
+    )
+    assert (
+        POLICY_INFO["Pred"].uses_prediction
+        and not POLICY_INFO["Pred"].uses_system_load
+        and not POLICY_INFO["Pred"].uses_parallelism_efficiency
+    )
+    assert (
+        not POLICY_INFO["WQ-Linear"].uses_prediction
+        and POLICY_INFO["WQ-Linear"].uses_system_load
+        and not POLICY_INFO["WQ-Linear"].uses_parallelism_efficiency
+    )

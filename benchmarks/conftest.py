@@ -1,0 +1,130 @@
+"""Shared benchmark fixtures and scale knobs.
+
+Every benchmark regenerates one paper artifact (figure or table),
+prints it in the paper's row/series format, and writes the rendered
+text to ``benchmarks/output/`` so EXPERIMENTS.md can cite it.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_QUERIES``           requests per (policy, load) cell
+                                     [default 20000]
+* ``REPRO_BENCH_CLUSTER_QUERIES``   logical queries in the cluster run
+                                     [default 6000]
+* ``REPRO_BENCH_CLUSTER_ISNS``      ISNs in the cluster run [default 40]
+* ``REPRO_BENCH_FAST=1``            shrink everything ~10x (CI smoke)
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.config import PolicyConfig, ServerConfig
+from repro.experiments import (
+    DEFAULT_FINANCE_TARGET_TABLE,
+    DEFAULT_QPS_GRID,
+    DEFAULT_SEARCH_TARGET_TABLE,
+    default_workload,
+    run_load_sweep,
+)
+from repro.finance import build_finance_workload
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+_FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+
+def bench_queries() -> int:
+    """Requests per (policy, load) experiment cell."""
+    default = 2_000 if _FAST else 20_000
+    return int(os.environ.get("REPRO_BENCH_QUERIES", default))
+
+
+def cluster_queries() -> int:
+    """Logical queries in the cluster benchmark."""
+    default = 800 if _FAST else 6_000
+    return int(os.environ.get("REPRO_BENCH_CLUSTER_QUERIES", default))
+
+
+def cluster_isns() -> int:
+    """Number of ISNs in the cluster benchmark."""
+    default = 8 if _FAST else 40
+    return int(os.environ.get("REPRO_BENCH_CLUSTER_ISNS", default))
+
+
+def qps_grid() -> tuple[float, ...]:
+    """Load grid of the single-ISN figures."""
+    if _FAST:
+        return (150.0, 450.0, 750.0)
+    return DEFAULT_QPS_GRID
+
+
+BENCH_SEED = 71
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The canonical calibrated search workload."""
+    return default_workload()
+
+
+@pytest.fixture(scope="session")
+def finance():
+    """The Section 5.1 finance workload."""
+    return build_finance_workload()
+
+
+@pytest.fixture(scope="session")
+def search_table():
+    """The shipped Algorithm 1 target table."""
+    return DEFAULT_SEARCH_TARGET_TABLE
+
+
+@pytest.fixture(scope="session")
+def finance_table():
+    """The shipped finance target table."""
+    return DEFAULT_FINANCE_TARGET_TABLE
+
+
+@lru_cache(maxsize=1)
+def _main_sweep_cached():
+    """One shared sweep of the six single-ISN policies over the full
+    QPS grid; Figures 4, 5 and 6 all read from it."""
+    w = default_workload()
+    return run_load_sweep(
+        w,
+        ["Sequential", "WQ-Linear", "AP", "Pred", "TP", "TPC"],
+        qps_grid(),
+        n_requests=bench_queries(),
+        seed=BENCH_SEED,
+        target_table=DEFAULT_SEARCH_TARGET_TABLE,
+    )
+
+
+@pytest.fixture(scope="session")
+def main_sweep():
+    """Shared policy x load sweep (computed once per session)."""
+    return _main_sweep_cached()
+
+
+@pytest.fixture(scope="session")
+def finance_server_config():
+    """Finance server: same box, maximum parallelism degree 4."""
+    return ServerConfig(max_parallelism=4)
+
+
+@pytest.fixture(scope="session")
+def finance_policy_config():
+    """Pred uses fixed degree 2 on the finance server."""
+    return PolicyConfig(pred_fixed_degree=2)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced artifact and archive it under output/."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

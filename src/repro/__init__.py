@@ -1,0 +1,100 @@
+"""repro — reproduction of "TPC: Target-Driven Parallelism Combining
+Prediction and Correction to Reduce Tail Latency in Interactive
+Services" (Jeon et al., ASPLOS 2016).
+
+The package implements the paper's full system and every substrate it
+depends on (see DESIGN.md):
+
+* :mod:`repro.core` — the TPC algorithm: speedup profiles, target
+  tables, predictive parallelism, dynamic correction, Algorithm 1.
+* :mod:`repro.sim` — a discrete-event multi-core ISN server model.
+* :mod:`repro.search` — a from-scratch web-search substrate (corpus,
+  inverted index, BM25 scoring, task-pool parallel execution) whose
+  measured behaviour is calibrated against the paper's Section 2.
+* :mod:`repro.prediction` — boosted-tree execution-time prediction.
+* :mod:`repro.policies` — TPC plus every baseline of the evaluation
+  (Sequential, AP, Pred, WQ-Linear, RampUp, TP).
+* :mod:`repro.cluster` — the 40-ISN partition-aggregate cluster.
+* :mod:`repro.finance` — the Monte Carlo option-pricing server.
+* :mod:`repro.experiments` — the harness regenerating every figure
+  and table of the evaluation.
+
+Quickstart
+----------
+>>> from repro import default_workload, run_search_experiment
+>>> from repro import default_target_table
+>>> workload = default_workload()                       # offline pipeline
+>>> result = run_search_experiment(
+...     workload, "TPC", qps=450, n_requests=5000, seed=1,
+...     target_table=default_target_table())
+>>> result.p99_ms < 150                                  # doctest: +SKIP
+True
+"""
+
+from ._version import __version__
+from .config import (
+    ClusterConfig,
+    FinanceConfig,
+    PolicyConfig,
+    PredictorConfig,
+    SearchWorkloadConfig,
+    ServerConfig,
+    TargetTableConfig,
+)
+from .core import (
+    CorrectionController,
+    SpeedupBook,
+    SpeedupProfile,
+    TargetTable,
+    build_target_table,
+    select_degree,
+)
+from .errors import ReproError
+from .experiments import (
+    default_target_table,
+    default_workload,
+    run_load_sweep,
+    run_search_experiment,
+)
+from .policies import make_policy, policy_names
+from .search import build_search_workload
+from .finance import build_finance_workload
+from .cluster import run_cluster_experiment
+from .sim import Engine, LatencyRecorder, Request, Server
+
+__all__ = [
+    "__version__",
+    # configs
+    "ServerConfig",
+    "SearchWorkloadConfig",
+    "PredictorConfig",
+    "PolicyConfig",
+    "TargetTableConfig",
+    "ClusterConfig",
+    "FinanceConfig",
+    # core
+    "SpeedupProfile",
+    "SpeedupBook",
+    "TargetTable",
+    "CorrectionController",
+    "select_degree",
+    "build_target_table",
+    # errors
+    "ReproError",
+    # workloads & experiments
+    "build_search_workload",
+    "build_finance_workload",
+    "default_workload",
+    "default_target_table",
+    "run_search_experiment",
+    "run_load_sweep",
+    "run_cluster_experiment",
+    # policies
+    "make_policy",
+    "policy_names",
+    # simulation
+    "Engine",
+    "Server",
+    "Request",
+    "LatencyRecorder",
+]

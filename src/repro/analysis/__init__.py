@@ -1,0 +1,32 @@
+"""Analysis utilities: queueing-theory checks and policy comparisons.
+
+Not part of the paper's system, but the tooling a reproduction needs to
+*trust* its substrate: Little's-law and utilisation validators for the
+simulated server, plus helpers that turn latency sweeps into the
+comparative statements the paper makes ("reduces P99 by up to 40 %",
+"crossover at ~X QPS").
+"""
+
+from .queueing import (
+    offered_load_core_equivalents,
+    mean_concurrency,
+    utilisation,
+    verify_littles_law,
+)
+from .comparison import (
+    relative_reduction,
+    max_relative_reduction,
+    crossover_load,
+    dominance_fraction,
+)
+
+__all__ = [
+    "offered_load_core_equivalents",
+    "mean_concurrency",
+    "utilisation",
+    "verify_littles_law",
+    "relative_reduction",
+    "max_relative_reduction",
+    "crossover_load",
+    "dominance_fraction",
+]

@@ -1,0 +1,76 @@
+"""Queueing-theory validators for the simulation substrate.
+
+These helpers cross-check simulator outputs against closed-form
+queueing identities, so that any accounting bug in the fluid server
+model (lost work, phantom queueing) is caught by theory rather than by
+eyeballing latency curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..sim.metrics import LatencyRecorder
+
+__all__ = [
+    "offered_load_core_equivalents",
+    "mean_concurrency",
+    "utilisation",
+    "verify_littles_law",
+]
+
+
+def offered_load_core_equivalents(
+    qps: float, mean_demand_ms: float
+) -> float:
+    """Average core-equivalents of sequential work offered per second.
+
+    ``lambda * E[S]``: e.g. 450 QPS of 13.47 ms queries offer ~6.1
+    core-equivalents of work.
+    """
+    if qps <= 0 or mean_demand_ms <= 0:
+        raise SimulationError("qps and mean demand must be positive")
+    return qps * mean_demand_ms / 1000.0
+
+
+def mean_concurrency(recorder: LatencyRecorder, qps: float) -> float:
+    """Little's law estimate of in-system requests: ``L = lambda * W``."""
+    if len(recorder) == 0:
+        raise SimulationError("empty recorder")
+    mean_response_ms = float(np.mean(recorder.responses_ms))
+    return qps * mean_response_ms / 1000.0
+
+
+def utilisation(
+    qps: float, mean_demand_ms: float, capacity_core_equivalents: float
+) -> float:
+    """Base utilisation of the machine, ignoring parallelism overheads."""
+    if capacity_core_equivalents <= 0:
+        raise SimulationError("capacity must be positive")
+    return offered_load_core_equivalents(qps, mean_demand_ms) / (
+        capacity_core_equivalents
+    )
+
+
+def verify_littles_law(
+    recorder: LatencyRecorder,
+    qps: float,
+    observed_mean_concurrency: float,
+    tolerance: float = 0.15,
+) -> None:
+    """Assert an observed mean concurrency against Little's law.
+
+    Raises :class:`SimulationError` when the relative deviation exceeds
+    ``tolerance`` — the simulator is mis-accounting work or time.
+    """
+    expected = mean_concurrency(recorder, qps)
+    if expected == 0:
+        raise SimulationError("degenerate zero-latency run")
+    deviation = abs(observed_mean_concurrency - expected) / expected
+    if deviation > tolerance:
+        raise SimulationError(
+            "Little's law violated: observed concurrency "
+            f"{observed_mean_concurrency:.3f} vs lambda*W = {expected:.3f} "
+            f"({100 * deviation:.1f}% off)"
+        )

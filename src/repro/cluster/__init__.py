@@ -1,0 +1,17 @@
+"""Partition-aggregate cluster of ISNs (Figure 1, Section 4.5).
+
+A user query fans out to every ISN; the aggregator waits for all of
+them and merges, so the slowest ISN determines the query's response
+time.  This is why per-ISN *very high* percentiles (P99.8+) govern the
+cluster's P99 — the order-statistics effect Figure 8(b) illustrates.
+"""
+
+from .aggregator import Aggregator, AggregatedQuery
+from .cluster import ClusterExperimentResult, run_cluster_experiment
+
+__all__ = [
+    "Aggregator",
+    "AggregatedQuery",
+    "ClusterExperimentResult",
+    "run_cluster_experiment",
+]

@@ -1,0 +1,85 @@
+"""The aggregator: fan-out, wait-for-all, merge.
+
+Tracks every in-flight logical query and records its aggregator-level
+response time once the last ISN replica completes, plus a fixed
+network/merge overhead (the paper measures ~2 ms average of
+non-compute time per query, Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = ["AggregatedQuery", "Aggregator"]
+
+
+@dataclass
+class AggregatedQuery:
+    """In-flight bookkeeping of one logical query."""
+
+    qid: int
+    arrival_ms: float
+    pending: int
+    slowest_finish_ms: float = float("-inf")
+    isn_responses_ms: list[float] = field(default_factory=list)
+
+
+class Aggregator:
+    """Collects per-ISN completions and emits aggregator latencies."""
+
+    def __init__(self, num_isns: int, network_overhead_ms: float = 2.0) -> None:
+        if num_isns < 1:
+            raise SimulationError("num_isns must be >= 1")
+        if network_overhead_ms < 0:
+            raise SimulationError("network_overhead_ms must be >= 0")
+        self.num_isns = num_isns
+        self.network_overhead_ms = float(network_overhead_ms)
+        self._inflight: dict[int, AggregatedQuery] = {}
+        self.latencies_ms: list[float] = []
+        #: Per-query list of individual ISN response times (for the
+        #: aggregator-vs-ISN percentile comparison of Figure 8(b)).
+        self.isn_latencies_ms: list[float] = []
+
+    @property
+    def completed(self) -> int:
+        """Logical queries fully aggregated so far."""
+        return len(self.latencies_ms)
+
+    @property
+    def inflight(self) -> int:
+        """Logical queries still waiting for at least one ISN."""
+        return len(self._inflight)
+
+    def begin(self, qid: int, arrival_ms: float) -> None:
+        """Register the fan-out of a new logical query."""
+        if qid in self._inflight:
+            raise SimulationError(f"query {qid} already in flight")
+        self._inflight[qid] = AggregatedQuery(
+            qid=qid, arrival_ms=arrival_ms, pending=self.num_isns
+        )
+
+    def on_isn_complete(self, qid: int, finish_ms: float) -> bool:
+        """Record one ISN replica completion.
+
+        Returns True when this was the last pending replica (the
+        aggregator responds to the user at that moment).
+        """
+        entry = self._inflight.get(qid)
+        if entry is None:
+            raise SimulationError(f"query {qid} is not in flight")
+        if finish_ms < entry.arrival_ms:
+            raise SimulationError("completion precedes arrival")
+        entry.pending -= 1
+        entry.slowest_finish_ms = max(entry.slowest_finish_ms, finish_ms)
+        entry.isn_responses_ms.append(finish_ms - entry.arrival_ms)
+        if entry.pending > 0:
+            return False
+        del self._inflight[entry.qid]
+        latency = (
+            entry.slowest_finish_ms - entry.arrival_ms + self.network_overhead_ms
+        )
+        self.latencies_ms.append(latency)
+        self.isn_latencies_ms.extend(entry.isn_responses_ms)
+        return True

@@ -1,0 +1,171 @@
+"""Cluster experiment: N ISNs behind one aggregator on a shared clock.
+
+Every logical query fans out to all ISNs.  Each ISN receives its own
+replica of the request with lognormally jittered demand (document
+sharding spreads work evenly but not identically) and schedules it
+independently under its own policy instance; the aggregator answers
+when the slowest replica completes.  All ISNs share one target table,
+matching the paper's observation that evenly-balanced ISNs converge to
+the same table (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ClusterConfig, PolicyConfig, ServerConfig
+from ..core.target_table import TargetTable
+from ..errors import ConfigError, SimulationError
+from ..policies.registry import make_policy
+from ..rng import RngFactory
+from ..search.workload import SearchWorkload
+from ..sim.client import poisson_arrival_times
+from ..sim.engine import Engine
+from ..sim.load import LoadMetric
+from ..sim.metrics import LatencyRecorder, percentile
+from ..sim.request import Request
+from ..sim.server import Server
+from .aggregator import Aggregator
+
+__all__ = ["ClusterExperimentResult", "run_cluster_experiment"]
+
+
+@dataclass
+class ClusterExperimentResult:
+    """Outcome of one cluster run."""
+
+    policy_name: str
+    qps: float
+    num_isns: int
+    #: Aggregator response time per logical query (ms).
+    aggregator_latencies_ms: np.ndarray
+    #: Response times of every individual ISN replica (ms).
+    isn_latencies_ms: np.ndarray
+    #: Per-ISN recorders (index = ISN id).
+    isn_recorders: list[LatencyRecorder]
+
+    def aggregator_percentile(self, p: float) -> float:
+        """Percentile of the aggregator (user-visible) latency."""
+        return percentile(self.aggregator_latencies_ms, p)
+
+    def isn_percentile(self, p: float) -> float:
+        """Percentile of individual ISN response times."""
+        return percentile(self.isn_latencies_ms, p)
+
+    def isn_percentile_of_latency(self, latency_ms: float) -> float:
+        """Which ISN percentile a given latency value sits at.
+
+        Used for Figure 8(b): the paper observes that the P99
+        aggregator latency corresponds to roughly the P99.8 latency of
+        an individual ISN.
+        """
+        arr = np.sort(self.isn_latencies_ms)
+        rank = np.searchsorted(arr, latency_ms, side="right")
+        return 100.0 * rank / len(arr)
+
+    def fraction_slower_than(self, latency_ms: float) -> float:
+        """Fraction of aggregator responses slower than ``latency_ms``."""
+        return float((self.aggregator_latencies_ms > latency_ms).mean())
+
+
+def run_cluster_experiment(
+    workload: SearchWorkload,
+    policy_name: str,
+    qps: float,
+    n_queries: int,
+    seed: int,
+    cluster_config: ClusterConfig | None = None,
+    server_config: ServerConfig | None = None,
+    policy_config: PolicyConfig | None = None,
+    target_table: TargetTable | None = None,
+    load_metric: LoadMetric = LoadMetric.LONG_THREADS,
+    prediction: str = "model",
+) -> ClusterExperimentResult:
+    """Run one policy on a full partition-aggregate cluster.
+
+    Every ISN gets an independent policy instance and server but they
+    share the simulation clock, the target table and the predictor, as
+    in the paper's deployment.
+    """
+    if n_queries < 1:
+        raise ConfigError("n_queries must be >= 1")
+    ccfg = cluster_config if cluster_config is not None else ClusterConfig()
+    scfg = server_config if server_config is not None else ServerConfig()
+    rngs = RngFactory(seed)
+
+    engine = Engine()
+    aggregator = Aggregator(ccfg.num_isns, ccfg.network_overhead_ms)
+
+    def on_isn_complete(request: Request) -> None:
+        aggregator.on_isn_complete(request.rid, engine.now)
+
+    servers: list[Server] = []
+    for isn in range(ccfg.num_isns):
+        policy = make_policy(
+            policy_name,
+            speedup_book=workload.speedup_book,
+            group_weights=workload.group_weights,
+            target_table=target_table,
+            policy_config=policy_config,
+            load_metric=load_metric,
+        )
+        servers.append(
+            Server(
+                scfg,
+                policy,
+                engine=engine,
+                completion_callback=on_isn_complete,
+            )
+        )
+
+    logical = workload.make_requests(
+        n_queries, rngs.get("trace"), prediction=prediction
+    )
+    arrivals = poisson_arrival_times(n_queries, qps, rngs.get("arrivals"))
+    jitter_rng = rngs.get("shard-jitter")
+    sigma = ccfg.demand_jitter_sigma
+
+    for request, at in zip(logical, arrivals):
+        jitters = (
+            jitter_rng.lognormal(-sigma**2 / 2.0, sigma, size=ccfg.num_isns)
+            if sigma > 0
+            else np.ones(ccfg.num_isns)
+        )
+        replicas = [
+            Request(
+                rid=request.rid,
+                demand_ms=float(request.demand_ms * jitters[i]),
+                predicted_ms=request.predicted_ms,
+                speedup=request.speedup,
+            )
+            for i in range(ccfg.num_isns)
+        ]
+
+        def fan_out(
+            at_ms: float = float(at),
+            reps: list[Request] = replicas,
+            qid: int = request.rid,
+        ) -> None:
+            aggregator.begin(qid, at_ms)
+            for server, replica in zip(servers, reps):
+                server.submit(replica)
+
+        engine.schedule_at(float(at), fan_out)
+
+    while aggregator.completed < n_queries:
+        if not engine.step():
+            raise SimulationError(
+                f"engine drained with {aggregator.completed}/{n_queries} "
+                "queries aggregated"
+            )
+
+    return ClusterExperimentResult(
+        policy_name=policy_name,
+        qps=qps,
+        num_isns=ccfg.num_isns,
+        aggregator_latencies_ms=np.asarray(aggregator.latencies_ms),
+        isn_latencies_ms=np.asarray(aggregator.isn_latencies_ms),
+        isn_recorders=[s.recorder for s in servers],
+    )

@@ -1,0 +1,68 @@
+"""Dynamic correction: ramp up requests that overrun the target.
+
+Section 3.2: when a request has not completed within its target E —
+typically a long request mispredicted as short — TPC raises its
+parallelism degree at runtime, up to all currently idle worker threads
+or the maximum degree, whichever binds first.  Correction re-checks
+periodically while the request remains below the maximum degree, so a
+request that found no spare workers at its first overrun still gets
+accelerated once workers free up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CorrectionController", "CorrectionDecision"]
+
+
+@dataclass(frozen=True)
+class CorrectionDecision:
+    """Outcome of one correction check.
+
+    ``new_degree`` is None when no increase is possible right now;
+    ``recheck_after_ms`` is None when no further checks are needed
+    (the request reached the maximum degree).
+    """
+
+    new_degree: int | None
+    recheck_after_ms: float | None
+
+
+class CorrectionController:
+    """Stateless policy kernel deciding degree increases on overrun.
+
+    Parameters
+    ----------
+    max_degree:
+        Server-wide maximum parallelism degree ``P``.
+    recheck_ms:
+        Interval between correction attempts while below ``P``.
+    """
+
+    def __init__(self, max_degree: int, recheck_ms: float) -> None:
+        if max_degree < 1:
+            raise ValueError(f"max_degree must be >= 1, got {max_degree}")
+        if recheck_ms <= 0:
+            raise ValueError(f"recheck_ms must be > 0, got {recheck_ms}")
+        self.max_degree = max_degree
+        self.recheck_ms = recheck_ms
+
+    def decide(self, current_degree: int, idle_workers: int) -> CorrectionDecision:
+        """Decide the new degree for a request that overran its target.
+
+        The degree rises by the number of idle workers, clamped at the
+        maximum degree (the paper measures spare resources as idle
+        worker threads).  If the request is already at the maximum, no
+        further checks are scheduled.
+        """
+        if current_degree >= self.max_degree:
+            return CorrectionDecision(new_degree=None, recheck_after_ms=None)
+        granted = min(self.max_degree, current_degree + max(idle_workers, 0))
+        if granted <= current_degree:
+            # No spare capacity right now; try again shortly.
+            return CorrectionDecision(
+                new_degree=None, recheck_after_ms=self.recheck_ms
+            )
+        recheck = None if granted >= self.max_degree else self.recheck_ms
+        return CorrectionDecision(new_degree=granted, recheck_after_ms=recheck)

@@ -1,0 +1,259 @@
+"""Parallelism-efficiency model: speedup profiles and demand groups.
+
+The paper models a request's parallelization efficiency with a *speedup
+profile* ``{S_i | i = 1..P}`` mapping parallelism degree ``i`` to
+speedup ``S_i`` (Section 3.1).  Because per-request speedup is hard to
+predict, requests are classified into groups by sequential execution
+time — short (<30 ms), mid (30-80 ms), long (>80 ms) in Figure 2 — and
+the average profile of the group is used for scheduling decisions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_GROUP_BOUNDS_MS, validate_group_bounds
+from ..errors import ConfigError
+
+__all__ = ["SpeedupProfile", "SpeedupBook", "demand_group", "amdahl_profile"]
+
+
+class SpeedupProfile:
+    """Immutable map from parallelism degree to speedup.
+
+    ``profile[i]`` (1-based degree) returns ``S_i``.  Profiles must
+    start at ``S_1 = 1`` and be non-decreasing: adding threads never
+    slows a request down in the model (overheads are folded into the
+    diminishing returns of the curve, as the paper measures in Fig. 2).
+    """
+
+    __slots__ = ("_speedups",)
+
+    def __init__(self, speedups: Sequence[float]) -> None:
+        values = tuple(float(s) for s in speedups)
+        if not values:
+            raise ConfigError("speedup profile must have at least degree 1")
+        if abs(values[0] - 1.0) > 1e-9:
+            raise ConfigError(f"S_1 must equal 1.0, got {values[0]}")
+        for a, b in zip(values, values[1:]):
+            if b < a - 1e-9:
+                raise ConfigError(f"speedups must be non-decreasing: {values}")
+        if any(s > len(values) * 4.0 for s in values):
+            raise ConfigError(f"implausible super-linear profile: {values}")
+        self._speedups = values
+
+    @property
+    def max_degree(self) -> int:
+        """The maximum parallelism degree ``P`` this profile covers."""
+        return len(self._speedups)
+
+    @property
+    def speedups(self) -> tuple[float, ...]:
+        """The raw ``(S_1, ..., S_P)`` tuple."""
+        return self._speedups
+
+    def __getitem__(self, degree: int) -> float:
+        if not 1 <= degree <= len(self._speedups):
+            raise IndexError(
+                f"degree {degree} outside [1, {len(self._speedups)}]"
+            )
+        return self._speedups[degree - 1]
+
+    def speedup(self, degree: int) -> float:
+        """Speedup at ``degree``; degrees above ``P`` saturate at ``S_P``."""
+        if degree < 1:
+            raise IndexError(f"degree must be >= 1, got {degree}")
+        return self._speedups[min(degree, len(self._speedups)) - 1]
+
+    def execution_time(self, sequential_ms: float, degree: int) -> float:
+        """Estimated execution time ``T_i = L / S_i`` of Section 3.1."""
+        return sequential_ms / self.speedup(degree)
+
+    def efficiency(self, degree: int) -> float:
+        """Parallel efficiency ``S_i / i`` at the given degree."""
+        return self.speedup(degree) / degree
+
+    def truncated(self, max_degree: int) -> "SpeedupProfile":
+        """A copy limited to ``max_degree`` entries."""
+        if max_degree < 1:
+            raise ConfigError("max_degree must be >= 1")
+        return SpeedupProfile(self._speedups[:max_degree])
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SpeedupProfile) and self._speedups == other._speedups
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._speedups)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{s:.2f}" for s in self._speedups)
+        return f"SpeedupProfile([{body}])"
+
+
+def amdahl_profile(
+    max_degree: int, serial_fraction: float, per_thread_loss: float = 0.0
+) -> SpeedupProfile:
+    """Build an Amdahl-style profile with an optional coordination loss.
+
+    ``S_d = 1 / (f + (1 - f) / d + c * (d - 1))`` where ``f`` is the
+    serial fraction and ``c`` a per-extra-thread synchronisation loss.
+    Used by the finance server (Section 5.1) and as a convenient
+    synthetic profile in tests.
+    """
+    if not 0 <= serial_fraction < 1:
+        raise ConfigError("serial_fraction must be in [0, 1)")
+    if per_thread_loss < 0:
+        raise ConfigError("per_thread_loss must be >= 0")
+    speedups: list[float] = []
+    best = 0.0
+    for d in range(1, max_degree + 1):
+        s = 1.0 / (
+            serial_fraction
+            + (1.0 - serial_fraction) / d
+            + per_thread_loss * (d - 1)
+        )
+        best = max(best, s)  # keep the profile monotone (never remove threads)
+        speedups.append(best)
+    return SpeedupProfile(speedups)
+
+
+def demand_group(
+    demand_ms: float, bounds_ms: Sequence[float] = DEFAULT_GROUP_BOUNDS_MS
+) -> int:
+    """Group index of a sequential demand: 0 = short, ..., len(bounds) = longest."""
+    return bisect_right(list(bounds_ms), demand_ms)
+
+
+class SpeedupBook:
+    """Per-group speedup profiles keyed by (predicted) sequential time.
+
+    This is the lookup structure of Section 3.1: given a request's
+    predicted sequential execution time, find its demand group and
+    return that group's average speedup profile.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[SpeedupProfile],
+        bounds_ms: Sequence[float] = DEFAULT_GROUP_BOUNDS_MS,
+    ) -> None:
+        self._bounds = validate_group_bounds(bounds_ms)
+        if len(profiles) != len(self._bounds) + 1:
+            raise ConfigError(
+                f"need {len(self._bounds) + 1} profiles for "
+                f"{len(self._bounds)} bounds, got {len(profiles)}"
+            )
+        degrees = {p.max_degree for p in profiles}
+        if len(degrees) != 1:
+            raise ConfigError("all group profiles must share max_degree")
+        self._profiles = tuple(profiles)
+
+    @property
+    def bounds_ms(self) -> tuple[float, ...]:
+        """Ascending group boundaries in milliseconds."""
+        return self._bounds
+
+    @property
+    def num_groups(self) -> int:
+        """Number of parallelism-efficiency groups (paper default: 3)."""
+        return len(self._profiles)
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum parallelism degree covered by every profile."""
+        return self._profiles[0].max_degree
+
+    @property
+    def profiles(self) -> tuple[SpeedupProfile, ...]:
+        """Profiles ordered from the shortest to the longest group."""
+        return self._profiles
+
+    def group_of(self, demand_ms: float) -> int:
+        """Group index for a (predicted) sequential demand."""
+        return demand_group(demand_ms, self._bounds)
+
+    def profile_for(self, demand_ms: float) -> SpeedupProfile:
+        """Profile of the group the (predicted) demand falls into."""
+        return self._profiles[self.group_of(demand_ms)]
+
+    def profile_of_group(self, group: int) -> SpeedupProfile:
+        """Profile by explicit group index."""
+        return self._profiles[group]
+
+    @classmethod
+    def from_samples(
+        cls,
+        demands_ms: Iterable[float],
+        per_request_profiles: Iterable[SpeedupProfile],
+        bounds_ms: Sequence[float] = DEFAULT_GROUP_BOUNDS_MS,
+        max_degree: int | None = None,
+    ) -> "SpeedupBook":
+        """Average measured per-request profiles within each demand group.
+
+        This is how the paper obtains Figure 2: execute a query log,
+        classify queries by sequential time, and average the measured
+        speedups per degree inside each class.
+        """
+        bounds = validate_group_bounds(bounds_ms)
+        demands = list(demands_ms)
+        profiles = list(per_request_profiles)
+        if len(demands) != len(profiles):
+            raise ConfigError("demands and profiles must align")
+        if not demands:
+            raise ConfigError("cannot build a SpeedupBook from zero samples")
+        degree = max_degree or profiles[0].max_degree
+        sums = np.zeros((len(bounds) + 1, degree))
+        counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        for demand, profile in zip(demands, profiles):
+            g = demand_group(demand, bounds)
+            sums[g] += [profile.speedup(d) for d in range(1, degree + 1)]
+            counts[g] += 1
+        group_profiles: list[SpeedupProfile] = []
+        for g in range(len(bounds) + 1):
+            if counts[g] == 0:
+                # An empty group inherits its shorter neighbour's profile
+                # (conservative: shorter groups parallelize worse).
+                inherited = (
+                    group_profiles[-1]
+                    if group_profiles
+                    else SpeedupProfile([1.0] * degree)
+                )
+                group_profiles.append(inherited)
+                continue
+            mean = sums[g] / counts[g]
+            mean[0] = 1.0
+            mean = np.maximum.accumulate(mean)  # enforce monotonicity
+            group_profiles.append(SpeedupProfile(mean.tolist()))
+        return cls(group_profiles, bounds)
+
+    def split_groups(self) -> "SpeedupBook":
+        """Double the group count by halving every group (Section 4.6).
+
+        Each group splits into two subgroups that share the parent's
+        profile; used by the group-count sensitivity study where the
+        paper observes <1 % improvement from 3 -> 6 groups.
+        """
+        new_bounds: list[float] = []
+        new_profiles: list[SpeedupProfile] = []
+        previous = 0.0
+        for bound, profile in zip(self._bounds, self._profiles):
+            mid = (previous + bound) / 2.0
+            new_bounds.extend([mid, bound])
+            new_profiles.extend([profile, profile])
+            previous = bound
+        # The open-ended longest group splits at 2x its lower bound.
+        last_profile = self._profiles[-1]
+        new_bounds.append(previous * 2.0)
+        new_profiles.extend([last_profile, last_profile])
+        return SpeedupBook(new_profiles, new_bounds)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpeedupBook(groups={self.num_groups}, bounds={self._bounds}, "
+            f"max_degree={self.max_degree})"
+        )

@@ -1,0 +1,110 @@
+"""The target table: load -> target completion time (Section 3.3).
+
+The table is a list of ``(load, target)`` pairs with loads ascending.
+For an instantaneous load ``d``, TPC uses target ``e_i`` where
+``d_{i-1} < d <= d_i``; loads beyond the last breakpoint use the last
+target (the paper's trailing infinity entry).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+from ..errors import TargetTableError
+
+__all__ = ["TargetTable"]
+
+
+class TargetTable:
+    """Immutable mapping from system load to target completion time E."""
+
+    __slots__ = ("_loads", "_targets")
+
+    def __init__(self, entries: Iterable[tuple[float, float]]) -> None:
+        pairs = [(float(d), float(e)) for d, e in entries]
+        if not pairs:
+            raise TargetTableError("target table must have at least one entry")
+        loads = [d for d, _ in pairs]
+        if any(b <= a for a, b in zip(loads, loads[1:])):
+            raise TargetTableError(f"loads must be strictly ascending: {loads}")
+        if any(e <= 0 for _, e in pairs):
+            raise TargetTableError("targets must be positive")
+        self._loads = tuple(loads)
+        self._targets = tuple(e for _, e in pairs)
+
+    @classmethod
+    def constant(cls, target_ms: float) -> "TargetTable":
+        """A degenerate table with one load-independent target."""
+        return cls([(0.0, target_ms)])
+
+    @property
+    def entries(self) -> tuple[tuple[float, float], ...]:
+        """The ``((d_0, e_0), ..., (d_{m-1}, e_{m-1}))`` pairs."""
+        return tuple(zip(self._loads, self._targets))
+
+    @property
+    def loads(self) -> tuple[float, ...]:
+        """Ascending load breakpoints ``d_i``."""
+        return self._loads
+
+    @property
+    def targets(self) -> tuple[float, ...]:
+        """Targets ``e_i`` aligned with :attr:`loads`."""
+        return self._targets
+
+    def __len__(self) -> int:
+        return len(self._loads)
+
+    def target_for(self, load: float) -> float:
+        """Target E for instantaneous load ``d``: smallest ``d_i >= d``.
+
+        Loads beyond the final breakpoint map to the final target,
+        mirroring the paper's trailing ``(infinity, e)`` entry.
+        """
+        index = bisect_left(self._loads, load)
+        if index >= len(self._loads):
+            index = len(self._loads) - 1
+        return self._targets[index]
+
+    def with_target(self, index: int, target_ms: float) -> "TargetTable":
+        """Copy of the table with entry ``index``'s target replaced.
+
+        This is the ``tmpTable_i`` construction step of Algorithm 1.
+        """
+        if not 0 <= index < len(self._loads):
+            raise TargetTableError(
+                f"index {index} outside [0, {len(self._loads)})"
+            )
+        targets = list(self._targets)
+        targets[index] = float(target_ms)
+        return TargetTable(zip(self._loads, targets))
+
+    def bumped(self, index: int, step_ms: float) -> "TargetTable":
+        """Copy with ``e_index`` increased by ``step_ms`` (Algorithm 1 line 7)."""
+        return self.with_target(index, self._targets[index] + step_ms)
+
+    @classmethod
+    def uniform(
+        cls, loads: Sequence[float], target_ms: float
+    ) -> "TargetTable":
+        """A table with the same initial target at every load breakpoint
+        (Algorithm 1's initialisation: the latency of an unloaded,
+        fully parallelized system — the smallest achievable target)."""
+        return cls((d, target_ms) for d in loads)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TargetTable)
+            and self._loads == other._loads
+            and self._targets == other._targets
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._loads, self._targets))
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"({d:g} -> {e:g}ms)" for d, e in zip(self._loads, self._targets)
+        )
+        return f"TargetTable([{body}])"

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the TPC reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """A parallelism policy produced an illegal scheduling decision."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator or trace is malformed."""
+
+
+class CalibrationError(WorkloadError):
+    """Workload calibration failed to reach the requested statistics."""
+
+
+class PredictionError(ReproError):
+    """The execution-time predictor was misused or failed to train."""
+
+
+class TargetTableError(ReproError):
+    """A target table is malformed or a table search failed."""

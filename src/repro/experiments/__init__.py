@@ -1,0 +1,42 @@
+"""Experiment harness: single-ISN runs, sweeps, MeasureTail, reports.
+
+Ties the workload substrate, policies and simulator into the paper's
+experiments.  ``runner`` executes one (policy, load) cell or a sweep;
+``scenarios`` holds the canonical configurations of every figure and
+table; ``report`` renders results as the rows the paper prints.
+"""
+
+from .runner import (
+    ExperimentResult,
+    run_search_experiment,
+    run_load_sweep,
+    make_measure_tail,
+    build_search_target_table,
+)
+from .scenarios import (
+    DEFAULT_QPS_GRID,
+    DEFAULT_RPS_GRID_FINANCE,
+    DEFAULT_SEARCH_TARGET_TABLE,
+    DEFAULT_FINANCE_TARGET_TABLE,
+    FIGURE_POLICIES,
+    default_workload,
+    default_target_table,
+)
+from .report import format_table, series_to_rows
+
+__all__ = [
+    "ExperimentResult",
+    "run_search_experiment",
+    "run_load_sweep",
+    "make_measure_tail",
+    "build_search_target_table",
+    "DEFAULT_QPS_GRID",
+    "DEFAULT_RPS_GRID_FINANCE",
+    "DEFAULT_SEARCH_TARGET_TABLE",
+    "DEFAULT_FINANCE_TARGET_TABLE",
+    "FIGURE_POLICIES",
+    "default_workload",
+    "default_target_table",
+    "format_table",
+    "series_to_rows",
+]

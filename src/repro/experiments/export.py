@@ -1,0 +1,50 @@
+"""CSV export of figure series.
+
+The benchmarks print paper-style text tables; this module exports the
+same series as CSV so users can re-plot the figures with their tool of
+choice (the repository deliberately has no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["series_to_csv", "write_series_csv"]
+
+
+def series_to_csv(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render ``{name: y-values}`` series keyed by x as CSV text."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(x_values)}"
+            )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([x_label, *series.keys()])
+    for i, x in enumerate(x_values):
+        writer.writerow([x, *(values[i] for values in series.values())])
+    return buffer.getvalue()
+
+
+def write_series_csv(
+    path: str | Path,
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+) -> Path:
+    """Write the CSV to ``path`` (parents created) and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(series_to_csv(x_label, x_values, series))
+    return target

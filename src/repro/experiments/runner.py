@@ -1,0 +1,214 @@
+"""Single-ISN experiment runner.
+
+``run_search_experiment`` executes one (policy, load) cell: sample a
+request trace from the workload pool, replay it through a simulated
+server under the chosen policy, and collect latency and degree
+statistics.  ``run_load_sweep`` produces the series behind Figures 4-7;
+``make_measure_tail`` packages a predefined multi-load experiment as
+the MeasureTail procedure of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..config import PolicyConfig, ServerConfig, TargetTableConfig
+from ..core.table_builder import TableSearchResult, build_target_table
+from ..core.target_table import TargetTable
+from ..errors import ConfigError
+from ..policies.registry import make_policy
+from ..rng import RngFactory
+from ..search.workload import SearchWorkload
+from ..sim.engine import Engine
+from ..sim.load import LoadMetric
+from ..sim.metrics import (
+    LatencyRecorder,
+    LatencySummary,
+    degree_distribution,
+    weighted_tail_latency,
+)
+from ..sim.server import Server
+from ..sim.client import OpenLoopClient
+
+__all__ = [
+    "ExperimentResult",
+    "run_search_experiment",
+    "run_load_sweep",
+    "make_measure_tail",
+    "build_search_target_table",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one (policy, load) experiment cell."""
+
+    policy_name: str
+    qps: float
+    recorder: LatencyRecorder
+    summary: LatencySummary
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile response time."""
+        return self.summary.p99_ms
+
+    @property
+    def p999_ms(self) -> float:
+        """99.9th-percentile response time."""
+        return self.summary.p999_ms
+
+    def degree_distribution(
+        self,
+        long_threshold_ms: float = 80.0,
+        max_degree: int = 6,
+        use_max_degree: bool = True,
+    ) -> dict[str, list[float]]:
+        """Table 2-style degree distribution of this run."""
+        return degree_distribution(
+            self.recorder, long_threshold_ms, max_degree, use_max_degree
+        )
+
+
+def run_search_experiment(
+    workload: SearchWorkload,
+    policy_name: str,
+    qps: float,
+    n_requests: int,
+    seed: int,
+    target_table: TargetTable | None = None,
+    server_config: ServerConfig | None = None,
+    policy_config: PolicyConfig | None = None,
+    load_metric: LoadMetric = LoadMetric.LONG_THREADS,
+    prediction: str = "model",
+    oracle_sigma: float = 0.0,
+    rampup_interval_ms: float | None = None,
+    speedup_book=None,
+) -> ExperimentResult:
+    """Run one policy at one load over a freshly sampled trace.
+
+    ``seed`` controls both the trace sample and the arrival process, so
+    different policies at the same ``(seed, qps)`` see the *same*
+    request sequence and arrival times — paired comparisons, like
+    replaying one query log against every policy.
+    """
+    if n_requests < 1:
+        raise ConfigError("n_requests must be >= 1")
+    rngs = RngFactory(seed)
+    server_cfg = server_config if server_config is not None else ServerConfig()
+    book = speedup_book if speedup_book is not None else workload.speedup_book
+    policy = make_policy(
+        policy_name,
+        speedup_book=book,
+        group_weights=workload.group_weights,
+        target_table=target_table,
+        policy_config=policy_config,
+        load_metric=load_metric,
+        rampup_interval_ms=rampup_interval_ms,
+    )
+    engine = Engine()
+    server = Server(server_cfg, policy, engine=engine)
+    requests = workload.make_requests(
+        n_requests,
+        rngs.get("trace"),
+        prediction=prediction,
+        oracle_sigma=oracle_sigma,
+    )
+    client = OpenLoopClient([server])
+    client.schedule_trace(engine, requests, qps, rngs.get("arrivals"))
+    server.run_to_completion(n_requests)
+    return ExperimentResult(
+        policy_name=policy.name,
+        qps=qps,
+        recorder=server.recorder,
+        summary=server.recorder.summary(),
+    )
+
+
+def run_load_sweep(
+    workload: SearchWorkload,
+    policy_names: Sequence[str],
+    qps_grid: Sequence[float],
+    n_requests: int,
+    seed: int,
+    target_table: TargetTable | None = None,
+    **kwargs,
+) -> dict[str, list[ExperimentResult]]:
+    """All (policy, load) cells: ``{policy: [result per QPS]}``."""
+    results: dict[str, list[ExperimentResult]] = {}
+    for name in policy_names:
+        series = []
+        for qps in qps_grid:
+            series.append(
+                run_search_experiment(
+                    workload,
+                    name,
+                    qps,
+                    n_requests,
+                    seed,
+                    target_table=target_table,
+                    **kwargs,
+                )
+            )
+        results[name] = series
+    return results
+
+
+def make_measure_tail(
+    workload: SearchWorkload,
+    table_config: TargetTableConfig,
+    seed: int,
+    n_requests: int | None = None,
+    server_config: ServerConfig | None = None,
+    load_metric: LoadMetric = LoadMetric.LONG_THREADS,
+) -> Callable[[TargetTable], float]:
+    """The MeasureTail procedure of Algorithm 1.
+
+    Returns a callable that runs the predefined experiment — TPC over
+    every load in ``table_config.measure_loads_qps`` — with a candidate
+    table and returns the weighted sum of the per-load tail latencies.
+    """
+    count = (
+        n_requests
+        if n_requests is not None
+        else table_config.queries_per_measurement
+    )
+
+    def measure(table: TargetTable) -> float:
+        samples = []
+        for qps in table_config.measure_loads_qps:
+            result = run_search_experiment(
+                workload,
+                "TPC",
+                qps,
+                count,
+                seed,
+                target_table=table,
+                server_config=server_config,
+                load_metric=load_metric,
+            )
+            samples.append(result.recorder.responses)
+        return weighted_tail_latency(
+            samples, table_config.measure_weights, table_config.percentile
+        )
+
+    return measure
+
+
+def build_search_target_table(
+    workload: SearchWorkload,
+    table_config: TargetTableConfig | None = None,
+    seed: int = 1234,
+    **measure_kwargs,
+) -> TableSearchResult:
+    """Run Algorithm 1 end-to-end for a search workload."""
+    cfg = table_config if table_config is not None else TargetTableConfig()
+    initial = TargetTable.uniform(cfg.load_grid, cfg.initial_target_ms)
+    measure = make_measure_tail(workload, cfg, seed, **measure_kwargs)
+    return build_target_table(
+        initial,
+        cfg.step_ms,
+        measure,
+        max_iterations=cfg.max_iterations,
+    )

@@ -1,0 +1,21 @@
+"""Finance-server substrate (Section 5).
+
+An option-pricing server valuing path-dependent Asian options with
+Monte Carlo: a real numpy pricer (:mod:`montecarlo`), a structural
+cost model (work scales with paths x steps, so sequential time is
+accurately estimable before execution), and the bimodal request
+workload of Section 5.1 (10 % long requests at 9x the short demand,
+maximum parallelism degree 4).
+"""
+
+from .option import AsianOption
+from .montecarlo import MonteCarloPricer, PricingResult
+from .workload import FinanceWorkload, build_finance_workload
+
+__all__ = [
+    "AsianOption",
+    "MonteCarloPricer",
+    "PricingResult",
+    "FinanceWorkload",
+    "build_finance_workload",
+]

@@ -1,0 +1,44 @@
+"""Parallelism policies (Table 1 of the paper, plus RampUp and TP).
+
+Every policy decides a request's parallelism degree when it starts and
+may adjust it at runtime via scheduled checks.  The information each
+policy consumes is the paper's Table 1:
+
+============  ====================  ===========  =================
+Policy        Predicted exec. time  System load  Para. efficiency
+============  ====================  ===========  =================
+TPC           yes                   yes          yes
+TP            yes                   yes          yes (no correction)
+AP            no                    yes          yes
+Pred          yes                   no           no
+WQ-Linear     no                    yes          no
+RampUp        no                    no           no
+Sequential    no                    no           no
+============  ====================  ===========  =================
+"""
+
+from .base import ParallelismPolicy
+from .sequential import SequentialPolicy
+from .ap import AdaptiveParallelismPolicy
+from .pred import PredPolicy
+from .wq_linear import WQLinearPolicy
+from .rampup import RampUpPolicy
+from .adaptive_rampup import AdaptiveRampUpPolicy
+from .tp import TPPolicy
+from .tpc import TPCPolicy
+from .registry import POLICY_INFO, make_policy, policy_names
+
+__all__ = [
+    "ParallelismPolicy",
+    "SequentialPolicy",
+    "AdaptiveParallelismPolicy",
+    "PredPolicy",
+    "WQLinearPolicy",
+    "RampUpPolicy",
+    "AdaptiveRampUpPolicy",
+    "TPPolicy",
+    "TPCPolicy",
+    "POLICY_INFO",
+    "make_policy",
+    "policy_names",
+]

@@ -1,0 +1,58 @@
+"""Policy interface shared by all parallelism strategies.
+
+A policy is consulted at two points in a request's life:
+
+1. **Dispatch** (:meth:`initial_degree`) — when a worker pulls the
+   request off the waiting queue, the policy chooses the starting
+   degree from whatever information it uses (prediction, load,
+   efficiency).  The server clamps the answer to the idle-worker count
+   and the configured maximum.
+2. **Runtime checks** (:meth:`first_check_delay` /:meth:`on_check`) —
+   optional timers for policies that adjust degree mid-flight (TPC's
+   dynamic correction, RampUp's incremental parallelism).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.request import Request
+    from ..sim.server import Server
+
+__all__ = ["ParallelismPolicy"]
+
+
+class ParallelismPolicy(ABC):
+    """Base class of all parallelism policies."""
+
+    #: Human-readable policy name used in reports and the registry.
+    name: str = "base"
+
+    def bind(self, server: "Server") -> None:
+        """Called once when attached to a server.  Default: no-op."""
+
+    @abstractmethod
+    def initial_degree(self, request: "Request", server: "Server") -> int:
+        """Degree to start ``request`` with (>= 1; server clamps)."""
+
+    def first_check_delay(
+        self, request: "Request", server: "Server"
+    ) -> float | None:
+        """Delay (ms after start) of the first runtime check, or None."""
+        return None
+
+    def on_check(
+        self, request: "Request", server: "Server"
+    ) -> tuple[int | None, float | None]:
+        """Runtime check: return ``(new_degree, next_check_delay)``.
+
+        ``new_degree`` above the current degree requests a mid-flight
+        increase (never a decrease); ``next_check_delay`` schedules a
+        follow-up check.  Either may be None.
+        """
+        return (None, None)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

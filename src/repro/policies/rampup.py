@@ -1,0 +1,52 @@
+"""RampUp: incremental parallelism without prediction (Section 4.4).
+
+RampUp starts every query sequentially.  If the query has not completed
+after a predefined interval, its degree is increased by 1, repeating
+every interval until the query completes or reaches the maximum degree.
+Short queries thus finish sequentially while long queries eventually
+accumulate threads — dynamic correction without prediction, in the
+spirit of few-to-many incremental parallelism [15].  The interval
+trades tail latency at light load (small intervals parallelize sooner)
+against overhead at heavy load (small intervals parallelize everything).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+from .base import ParallelismPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.request import Request
+    from ..sim.server import Server
+
+__all__ = ["RampUpPolicy"]
+
+
+class RampUpPolicy(ParallelismPolicy):
+    """Degree +1 every ``interval_ms`` until completion or the maximum."""
+
+    def __init__(self, interval_ms: float = 10.0) -> None:
+        if interval_ms <= 0:
+            raise ConfigError("interval_ms must be > 0")
+        self.interval_ms = float(interval_ms)
+        self.name = f"RampUp-{interval_ms:g}ms"
+
+    def initial_degree(self, request: "Request", server: "Server") -> int:
+        return 1
+
+    def first_check_delay(
+        self, request: "Request", server: "Server"
+    ) -> float | None:
+        return self.interval_ms
+
+    def on_check(
+        self, request: "Request", server: "Server"
+    ) -> tuple[int | None, float | None]:
+        max_degree = server.config.max_parallelism
+        if request.degree >= max_degree:
+            return (None, None)
+        new_degree = request.degree + 1
+        next_delay = self.interval_ms if new_degree < max_degree else None
+        return (new_degree, next_delay)

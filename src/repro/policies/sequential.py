@@ -1,0 +1,22 @@
+"""Sequential baseline: every request runs on a single thread."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import ParallelismPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.request import Request
+    from ..sim.server import Server
+
+__all__ = ["SequentialPolicy"]
+
+
+class SequentialPolicy(ParallelismPolicy):
+    """The paper's baseline: no intra-request parallelism at all."""
+
+    name = "Sequential"
+
+    def initial_degree(self, request: "Request", server: "Server") -> int:
+        return 1

@@ -1,0 +1,59 @@
+"""TP: target-driven predictive parallelism *without* correction.
+
+TP is the ablation of Section 4.3 (Figure 6): identical to TPC at
+dispatch time — it reads the instantaneous load, looks up the target
+completion time E, and picks the smallest degree whose predicted
+execution time meets E — but never adjusts a request at runtime.  TP
+matches TPC at the 99th percentile (prediction is accurate enough
+there) and loses 40-65 ms at the 99.9th, which isolates the value of
+dynamic correction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.predictive import select_degree
+from ..core.speedup import SpeedupBook
+from ..core.target_table import TargetTable
+from ..sim.load import LoadMetric, load_value
+from .base import ParallelismPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.request import Request
+    from ..sim.server import Server
+
+__all__ = ["TPPolicy"]
+
+
+class TPPolicy(ParallelismPolicy):
+    """Predictive parallelism against a load-dependent target."""
+
+    name = "TP"
+
+    def __init__(
+        self,
+        target_table: TargetTable,
+        speedup_book: SpeedupBook,
+        load_metric: LoadMetric = LoadMetric.LONG_THREADS,
+    ) -> None:
+        self.target_table = target_table
+        self.speedup_book = speedup_book
+        self.load_metric = load_metric
+
+    def current_target(self, server: "Server") -> float:
+        """Target E for the server's instantaneous load."""
+        return self.target_table.target_for(
+            load_value(server, self.load_metric)
+        )
+
+    def initial_degree(self, request: "Request", server: "Server") -> int:
+        target_ms = self.current_target(server)
+        request.target_ms = target_ms
+        profile = self.speedup_book.profile_for(request.predicted_ms)
+        return select_degree(
+            request.predicted_ms,
+            target_ms,
+            profile,
+            server.config.max_parallelism,
+        )

@@ -1,0 +1,40 @@
+"""WQ-Linear [33]: degree inversely proportional to queue length.
+
+Work-Queue Linear considers only system load, measured as the number of
+queries waiting in the queue: every query — short or long alike — is
+parallelized with ``degree = clamp(P / (1 + queue / beta))``.  An empty
+queue yields the maximum degree; a backlog collapses everything toward
+sequential execution.  Because it cannot tell short from long queries,
+it wastes threads parallelizing short queries at light load and starves
+long queries at heavy load (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+from .base import ParallelismPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.request import Request
+    from ..sim.server import Server
+
+__all__ = ["WQLinearPolicy"]
+
+
+class WQLinearPolicy(ParallelismPolicy):
+    """Queue-length-driven degree selection (DoPE-style)."""
+
+    name = "WQ-Linear"
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta <= 0:
+            raise ConfigError("beta must be > 0")
+        self.beta = float(beta)
+
+    def initial_degree(self, request: "Request", server: "Server") -> int:
+        max_degree = server.config.max_parallelism
+        degree = math.ceil(max_degree / (1.0 + server.queue_length / self.beta))
+        return max(1, min(max_degree, degree))

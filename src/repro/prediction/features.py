@@ -1,0 +1,61 @@
+"""Pre-execution query features.
+
+Mirrors the feature families of the predictor in [21]: term features
+(IDF / document-frequency statistics of each keyword) and query
+features (keyword count, aggregate posting volume).  Everything here is
+known *before* the query runs — posting-list lengths are index
+metadata.  What is deliberately absent is the number of documents that
+will actually match (the intersection size), which drives the scoring
+phase's cost: that gap is the structural source of prediction error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..search.index import InvertedIndex
+from ..search.query import Query
+
+__all__ = ["QUERY_FEATURE_NAMES", "query_features", "query_feature_matrix"]
+
+#: Ordered names of the feature vector produced by :func:`query_features`.
+QUERY_FEATURE_NAMES: tuple[str, ...] = (
+    "num_keywords",
+    "log_total_postings",
+    "log_min_df",
+    "log_max_df",
+    "log_second_max_df",
+    "mean_idf",
+    "min_idf",
+    "sum_idf",
+)
+
+
+def query_features(query: Query, index: InvertedIndex) -> np.ndarray:
+    """Feature vector of one query (see :data:`QUERY_FEATURE_NAMES`)."""
+    term_ids = np.asarray(query.term_ids, dtype=np.int64)
+    dfs = index.document_frequencies[term_ids].astype(np.float64)
+    idfs = index.idf_array(term_ids)
+    sorted_dfs = np.sort(dfs)[::-1]
+    second_max = sorted_dfs[1] if len(sorted_dfs) > 1 else sorted_dfs[0]
+    return np.array(
+        [
+            float(len(term_ids)),
+            float(np.log1p(dfs.sum())),
+            float(np.log1p(dfs.min())),
+            float(np.log1p(dfs.max())),
+            float(np.log1p(second_max)),
+            float(idfs.mean()),
+            float(idfs.min()),
+            float(idfs.sum()),
+        ]
+    )
+
+
+def query_feature_matrix(
+    queries: list[Query], index: InvertedIndex
+) -> np.ndarray:
+    """Stacked feature matrix for a query list."""
+    if not queries:
+        return np.empty((0, len(QUERY_FEATURE_NAMES)))
+    return np.vstack([query_features(q, index) for q in queries])

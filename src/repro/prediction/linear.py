@@ -1,0 +1,81 @@
+"""Linear execution-time predictor (the [26]-style baseline).
+
+Macdonald et al. [26] predicted query response times from per-term
+statistics with (mostly) linear models; Jeon et al. [21] improved on it
+with more features and a boosted-tree regressor.  This ridge-regression
+baseline plays [26]'s role: it trains on the same features as the
+boosted model, so comparing the two quantifies what the tree ensemble
+buys — and lets experiments ask how much predictor quality TPC really
+needs (spoiler, per Section 4.6: less than you'd think, thanks to
+dynamic correction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictionError
+
+__all__ = ["RidgeRegressionPredictor"]
+
+
+class RidgeRegressionPredictor:
+    """Ridge regression on log demand with standardised features."""
+
+    def __init__(self, l2: float = 1.0) -> None:
+        if l2 < 0:
+            raise PredictionError("l2 must be >= 0")
+        self.l2 = float(l2)
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._weights is not None
+
+    def fit(
+        self, features: np.ndarray, demands_ms: np.ndarray
+    ) -> "RidgeRegressionPredictor":
+        """Fit ``log(demand) ~ features`` with an L2 penalty."""
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(demands_ms, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(y):
+            raise PredictionError("features and demands must align")
+        if (y <= 0).any():
+            raise PredictionError("demands must be positive")
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        Z = (X - self._mean) / self._std
+        Z = np.hstack([Z, np.ones((len(Z), 1))])
+        target = np.log(y)
+        regulariser = self.l2 * np.eye(Z.shape[1])
+        regulariser[-1, -1] = 0.0  # never penalise the intercept
+        self._weights = np.linalg.solve(
+            Z.T @ Z + regulariser, Z.T @ target
+        )
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted execution time (ms)."""
+        if self._weights is None or self._mean is None or self._std is None:
+            raise PredictionError("model is not fitted")
+        X = np.asarray(features, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        Z = (X - self._mean) / self._std
+        Z = np.hstack([Z, np.ones((len(Z), 1))])
+        return np.exp(Z @ self._weights)
+
+    def l1_error(
+        self, features: np.ndarray, demands_ms: np.ndarray
+    ) -> float:
+        """Mean absolute error in milliseconds."""
+        predictions = self.predict(features)
+        y = np.asarray(demands_ms, dtype=np.float64)
+        if len(predictions) != len(y):
+            raise PredictionError("features and demands must align")
+        return float(np.abs(predictions - y).mean())

@@ -1,0 +1,52 @@
+"""Oracle predictors for sensitivity studies (Section 4.6).
+
+The paper mimics a perfect predictor "by using the sequential execution
+time collected in advance for each input query" and compares TPC under
+the real and perfect predictors.  :class:`NoisyOraclePredictor` spans
+the space in between: the true demand perturbed by controllable
+lognormal noise, used by the prediction-accuracy sweep ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictionError
+
+__all__ = ["PerfectPredictor", "NoisyOraclePredictor"]
+
+
+class PerfectPredictor:
+    """Predicts exactly the true sequential demand."""
+
+    def predict_demands(self, demands_ms: np.ndarray) -> np.ndarray:
+        """Return the demands unchanged."""
+        arr = np.asarray(demands_ms, dtype=np.float64)
+        if (arr <= 0).any():
+            raise PredictionError("demands must be positive")
+        return arr.copy()
+
+
+class NoisyOraclePredictor:
+    """True demand times lognormal noise of configurable magnitude.
+
+    ``sigma = 0`` reduces to the perfect predictor; larger sigmas
+    degrade recall/precision smoothly, letting experiments sweep the
+    predictor-accuracy axis without retraining models.
+    """
+
+    def __init__(self, sigma: float, rng: np.random.Generator) -> None:
+        if sigma < 0:
+            raise PredictionError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = float(sigma)
+        self._rng = rng
+
+    def predict_demands(self, demands_ms: np.ndarray) -> np.ndarray:
+        """Perturbed copies of the true demands."""
+        arr = np.asarray(demands_ms, dtype=np.float64)
+        if (arr <= 0).any():
+            raise PredictionError("demands must be positive")
+        if self.sigma == 0:
+            return arr.copy()
+        noise = self._rng.lognormal(0.0, self.sigma, size=arr.shape)
+        return arr * noise

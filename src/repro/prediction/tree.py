@@ -1,0 +1,196 @@
+"""Histogram-based CART regression tree (numpy only).
+
+Features are pre-binned into at most 256 quantile bins; each split
+search accumulates per-bin sums with ``np.bincount`` and scans the
+variance-gain of every bin boundary — the same strategy LightGBM-class
+learners use, compact enough to implement and verify from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PredictionError
+
+__all__ = ["FeatureBinner", "RegressionTree"]
+
+
+class FeatureBinner:
+    """Maps raw feature columns to small integer bins by quantile."""
+
+    def __init__(self, max_bins: int = 64) -> None:
+        if not 2 <= max_bins <= 256:
+            raise PredictionError("max_bins must be in [2, 256]")
+        self.max_bins = max_bins
+        self._edges: list[np.ndarray] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return bool(self._edges)
+
+    def fit(self, features: np.ndarray) -> "FeatureBinner":
+        """Learn per-feature quantile bin edges."""
+        X = _as_matrix(features)
+        self._edges = []
+        quantiles = np.linspace(0, 1, self.max_bins + 1)[1:-1]
+        for j in range(X.shape[1]):
+            edges = np.unique(np.quantile(X[:, j], quantiles))
+            self._edges.append(edges)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Bin a feature matrix into uint8 codes."""
+        if not self._edges:
+            raise PredictionError("binner is not fitted")
+        X = _as_matrix(features)
+        if X.shape[1] != len(self._edges):
+            raise PredictionError(
+                f"expected {len(self._edges)} features, got {X.shape[1]}"
+            )
+        binned = np.empty(X.shape, dtype=np.uint8)
+        for j, edges in enumerate(self._edges):
+            binned[:, j] = np.searchsorted(edges, X[:, j], side="right")
+        return binned
+
+    def num_bins(self, feature: int) -> int:
+        """Number of distinct bins of one feature."""
+        return len(self._edges[feature]) + 1
+
+
+@dataclass(frozen=True)
+class _Node:
+    """One tree node; leaves carry a value, internal nodes a split."""
+
+    feature: int
+    threshold_bin: int
+    left: int
+    right: int
+    value: float
+    is_leaf: bool
+
+
+class RegressionTree:
+    """A depth-bounded least-squares regression tree on binned features."""
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 8) -> None:
+        if max_depth < 1:
+            raise PredictionError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise PredictionError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._nodes: list[_Node] = []
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count after fitting."""
+        return len(self._nodes)
+
+    def fit(self, binned: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        """Fit to binned features (uint8) and continuous targets."""
+        X = np.asarray(binned)
+        y = np.asarray(targets, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(y):
+            raise PredictionError("binned features and targets must align")
+        if len(y) == 0:
+            raise PredictionError("cannot fit a tree on zero samples")
+        self._nodes = []
+        self._grow(X, y, np.arange(len(y)), depth=0)
+        return self
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, rows: np.ndarray, depth: int
+    ) -> int:
+        node_id = len(self._nodes)
+        value = float(y[rows].mean())
+        self._nodes.append(_Node(-1, -1, -1, -1, value, True))
+        if depth >= self.max_depth or len(rows) < 2 * self.min_samples_leaf:
+            return node_id
+        split = self._best_split(X, y, rows)
+        if split is None:
+            return node_id
+        feature, threshold_bin = split
+        go_left = X[rows, feature] <= threshold_bin
+        left_rows = rows[go_left]
+        right_rows = rows[~go_left]
+        left_id = self._grow(X, y, left_rows, depth + 1)
+        right_id = self._grow(X, y, right_rows, depth + 1)
+        self._nodes[node_id] = _Node(
+            feature, threshold_bin, left_id, right_id, value, False
+        )
+        return node_id
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, int] | None:
+        y_rows = y[rows]
+        n = len(rows)
+        total_sum = y_rows.sum()
+        best_gain = 1e-12
+        best: tuple[int, int] | None = None
+        for feature in range(X.shape[1]):
+            codes = X[rows, feature].astype(np.int64)
+            counts = np.bincount(codes)
+            if len(counts) < 2:
+                continue
+            sums = np.bincount(codes, weights=y_rows)
+            left_counts = np.cumsum(counts)[:-1]
+            left_sums = np.cumsum(sums)[:-1]
+            right_counts = n - left_counts
+            right_sums = total_sum - left_sums
+            valid = (left_counts >= self.min_samples_leaf) & (
+                right_counts >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gain = np.where(
+                    valid,
+                    left_sums**2 / left_counts
+                    + right_sums**2 / right_counts
+                    - total_sum**2 / n,
+                    -np.inf,
+                )
+            idx = int(np.argmax(gain))
+            if gain[idx] > best_gain:
+                best_gain = float(gain[idx])
+                best = (feature, idx)
+        return best
+
+    def predict(self, binned: np.ndarray) -> np.ndarray:
+        """Predict for binned features."""
+        if not self._nodes:
+            raise PredictionError("tree is not fitted")
+        X = np.asarray(binned)
+        out = np.empty(len(X), dtype=np.float64)
+        # Vectorised level-by-level routing.
+        node_ids = np.zeros(len(X), dtype=np.int64)
+        active = np.arange(len(X))
+        while len(active):
+            still_internal = []
+            for nid in np.unique(node_ids[active]):
+                node = self._nodes[nid]
+                members = active[node_ids[active] == nid]
+                if node.is_leaf:
+                    out[members] = node.value
+                    continue
+                left = X[members, node.feature] <= node.threshold_bin
+                node_ids[members[left]] = node.left
+                node_ids[members[~left]] = node.right
+                still_internal.append(members)
+            active = (
+                np.concatenate(still_internal) if still_internal else np.empty(0, int)
+            )
+        return out
+
+
+def _as_matrix(features: np.ndarray) -> np.ndarray:
+    X = np.asarray(features, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise PredictionError(f"features must be 2-D, got shape {X.shape}")
+    return X

@@ -1,0 +1,37 @@
+"""Web-search substrate: corpus, inverted index, query execution.
+
+Replaces the paper's production Bing index and query log (see
+DESIGN.md).  A synthetic Zipf corpus feeds an in-memory inverted
+index; queries execute for real (posting traversal, match counting,
+BM25 scoring, top-k), and a query's *service demand* is the
+deterministic work this execution performs, calibrated to the paper's
+published demand statistics.  The task-pool parallel-execution model
+derives per-query speedup profiles that reproduce Figure 2.
+"""
+
+from .corpus import Corpus, build_corpus
+from .index import InvertedIndex
+from .query import Query, QueryGenerator
+from .engine import SearchEngine, QueryExecution
+from .scoring import bm25_scores, top_k_documents
+from .parallel import ParallelExecutionModel, fit_parallel_model
+from .calibrate import CalibrationResult, calibrate_workload
+from .workload import SearchWorkload, build_search_workload
+
+__all__ = [
+    "Corpus",
+    "build_corpus",
+    "InvertedIndex",
+    "Query",
+    "QueryGenerator",
+    "SearchEngine",
+    "QueryExecution",
+    "bm25_scores",
+    "top_k_documents",
+    "ParallelExecutionModel",
+    "fit_parallel_model",
+    "CalibrationResult",
+    "calibrate_workload",
+    "SearchWorkload",
+    "build_search_workload",
+]

@@ -1,0 +1,97 @@
+"""Synthetic document corpus with a Zipf vocabulary.
+
+Term frequencies in real web corpora follow a Zipf law; document
+lengths are roughly lognormal.  Both facts matter here because they
+drive posting-list lengths, which in turn drive both query cost and
+the features the execution-time predictor can see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SearchWorkloadConfig
+from ..errors import WorkloadError
+
+__all__ = ["Corpus", "build_corpus", "zipf_probabilities"]
+
+
+def zipf_probabilities(vocabulary_size: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf probabilities over ranks ``1..V``."""
+    if vocabulary_size < 1:
+        raise WorkloadError("vocabulary_size must be >= 1")
+    if exponent <= 0:
+        raise WorkloadError("zipf exponent must be > 0")
+    ranks = np.arange(1, vocabulary_size + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """A tokenised synthetic corpus.
+
+    Attributes
+    ----------
+    doc_term_ids / doc_offsets:
+        CSR layout: document ``i`` owns tokens
+        ``doc_term_ids[doc_offsets[i]:doc_offsets[i + 1]]`` (term ids,
+        duplicates = term frequency).
+    term_probabilities:
+        The Zipf distribution terms were drawn from (rank order).
+    """
+
+    doc_term_ids: np.ndarray
+    doc_offsets: np.ndarray
+    vocabulary_size: int
+    term_probabilities: np.ndarray
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents in the corpus."""
+        return len(self.doc_offsets) - 1
+
+    @property
+    def total_tokens(self) -> int:
+        """Total token count across all documents."""
+        return int(self.doc_offsets[-1])
+
+    def document_length(self, doc_id: int) -> int:
+        """Token count of one document."""
+        return int(self.doc_offsets[doc_id + 1] - self.doc_offsets[doc_id])
+
+    def document_terms(self, doc_id: int) -> np.ndarray:
+        """Term ids (with repetition) of one document."""
+        return self.doc_term_ids[
+            self.doc_offsets[doc_id] : self.doc_offsets[doc_id + 1]
+        ]
+
+
+def build_corpus(
+    config: SearchWorkloadConfig, rng: np.random.Generator
+) -> Corpus:
+    """Generate a corpus per the workload configuration.
+
+    Document lengths are lognormal around ``mean_doc_length``; tokens
+    are i.i.d. draws from the Zipf term distribution.
+    """
+    probs = zipf_probabilities(config.vocabulary_size, config.zipf_exponent)
+    sigma = config.doc_length_sigma
+    mu = np.log(config.mean_doc_length) - sigma**2 / 2.0
+    lengths = np.maximum(
+        rng.lognormal(mu, sigma, size=config.num_documents).astype(np.int64), 8
+    )
+    offsets = np.zeros(config.num_documents + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    tokens = rng.choice(
+        config.vocabulary_size, size=total, p=probs
+    ).astype(np.int32)
+    return Corpus(
+        doc_term_ids=tokens,
+        doc_offsets=offsets,
+        vocabulary_size=config.vocabulary_size,
+        term_probabilities=probs,
+    )

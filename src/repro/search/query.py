@@ -1,0 +1,97 @@
+"""Query model and query-log generator.
+
+Real query logs mix mostly-short queries (few keywords, arbitrary
+popularity) with a minority of expensive ones (many keywords over
+popular terms — the paper notes ten-keyword queries run roughly an
+order of magnitude longer than two-keyword ones, Section 2.3).  The
+generator reproduces that mixture with two components:
+
+* **easy** queries: 1-4 keywords sampled from the full Zipf-ranked
+  vocabulary by query popularity;
+* **hard** queries: 4-10 keywords drawn from the most popular ranks,
+  whose long posting lists make traversal expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SearchWorkloadConfig
+from ..errors import WorkloadError
+from .corpus import zipf_probabilities
+
+__all__ = ["Query", "QueryGenerator"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A keyword query against one index fragment."""
+
+    qid: int
+    term_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.term_ids:
+            raise WorkloadError("query must contain at least one term")
+
+    @property
+    def num_keywords(self) -> int:
+        """Keyword count (a strong latency predictor, Section 2.3)."""
+        return len(self.term_ids)
+
+
+class QueryGenerator:
+    """Samples queries per the two-component mixture above."""
+
+    def __init__(
+        self, config: SearchWorkloadConfig, rng: np.random.Generator
+    ) -> None:
+        self.config = config
+        self._rng = rng
+        # Query-side term popularity is flatter than corpus frequency
+        # and skips the stopword head: users rarely search bare
+        # stopwords, and mid-frequency terms dominate real query logs.
+        skip = min(config.easy_skip_top, config.vocabulary_size - 1)
+        easy_size = config.vocabulary_size - skip
+        self._easy_offset = skip
+        self._easy_probs = zipf_probabilities(
+            easy_size, config.query_zipf_exponent
+        )
+        # Hard queries draw from the most popular ranks, whose long
+        # posting lists make traversal expensive (corpus-Zipf weighted).
+        pool = min(config.hard_term_pool, config.vocabulary_size)
+        hard_weights = zipf_probabilities(config.vocabulary_size, config.zipf_exponent)[:pool]
+        self._hard_probs = hard_weights / hard_weights.sum()
+        self._hard_pool = pool
+        self._next_qid = 0
+
+    def generate(self, n: int) -> list[Query]:
+        """Generate ``n`` queries following the configured mixture."""
+        if n < 1:
+            raise WorkloadError(f"n must be >= 1, got {n}")
+        queries = []
+        hard_draws = self._rng.random(n) < self.config.hard_query_fraction
+        for is_hard in hard_draws:
+            queries.append(self._generate_one(bool(is_hard)))
+        return queries
+
+    def _generate_one(self, is_hard: bool) -> Query:
+        cfg = self.config
+        if is_hard:
+            lo, hi = cfg.hard_keywords
+            k = int(self._rng.integers(lo, hi + 1))
+            k = min(k, self._hard_pool)
+            terms = self._rng.choice(
+                self._hard_pool, size=k, replace=False, p=self._hard_probs
+            )
+        else:
+            lo, hi = cfg.easy_keywords
+            k = int(self._rng.integers(lo, hi + 1))
+            terms = self._easy_offset + self._rng.choice(
+                len(self._easy_probs), size=k, replace=False, p=self._easy_probs
+            )
+        query = Query(self._next_qid, tuple(int(t) for t in sorted(terms)))
+        self._next_qid += 1
+        return query

@@ -1,0 +1,61 @@
+"""BM25 scoring and top-k selection.
+
+The ISN's second phase scores matched documents and returns the top-k
+most relevant (Section 2.1).  Scoring cost scales with the number of
+matched documents — work that is *not* knowable from pre-execution
+features, which is exactly where realistic prediction error comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["bm25_scores", "top_k_documents"]
+
+_K1 = 1.2
+_B = 0.75
+
+
+def bm25_scores(
+    tfs: np.ndarray,
+    idfs: np.ndarray,
+    doc_lengths: np.ndarray,
+    avg_doc_length: float,
+) -> np.ndarray:
+    """Per-(doc, term) BM25 contributions.
+
+    All arrays are aligned element-wise: entry ``i`` is term frequency,
+    term IDF and owning-document length of one posting hit.
+    """
+    if not (len(tfs) == len(idfs) == len(doc_lengths)):
+        raise WorkloadError("tfs, idfs and doc_lengths must align")
+    if avg_doc_length <= 0:
+        raise WorkloadError("avg_doc_length must be > 0")
+    tf = tfs.astype(np.float64)
+    norm = _K1 * (1.0 - _B + _B * doc_lengths / avg_doc_length)
+    return idfs * tf * (_K1 + 1.0) / (tf + norm)
+
+
+def top_k_documents(
+    doc_ids: np.ndarray, scores: np.ndarray, k: int
+) -> list[tuple[int, float]]:
+    """Top-``k`` (doc id, score) pairs, best first.
+
+    ``doc_ids`` may repeat (one entry per matching term); scores of the
+    same document are summed before selection.
+    """
+    if k < 1:
+        raise WorkloadError(f"k must be >= 1, got {k}")
+    if len(doc_ids) != len(scores):
+        raise WorkloadError("doc_ids and scores must align")
+    if len(doc_ids) == 0:
+        return []
+    unique_docs, inverse = np.unique(doc_ids, return_inverse=True)
+    totals = np.zeros(len(unique_docs), dtype=np.float64)
+    np.add.at(totals, inverse, scores)
+    k = min(k, len(unique_docs))
+    top = np.argpartition(totals, -k)[-k:]
+    top = top[np.argsort(totals[top])[::-1]]
+    return [(int(unique_docs[i]), float(totals[i])) for i in top]

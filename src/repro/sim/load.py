@@ -1,0 +1,49 @@
+"""System-load metrics (Section 4.6, Figure 9).
+
+TPC retrieves its target completion time from the target table using an
+instantaneous system-load value.  The paper compares three estimators:
+
+* ``LONG_THREADS`` (LongT, the default) — number of active threads
+  running long queries.  Long-query threads persist in the system, so
+  they best describe the resources a newly scheduled query will face.
+* ``ALL_THREADS`` (AllT) — all active threads, short-query threads
+  included; slightly noisier because short queries are transient.
+* ``CPU_UTIL`` (CpuUtil) — a sampled, EMA-smoothed performance counter;
+  lags the true load and degrades with it, as Figure 9 shows.
+
+All metrics are expressed in *equivalent active threads* so a single
+target table serves every estimator: CpuUtil is scaled by the hardware
+thread count.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import Server
+
+__all__ = ["LoadMetric", "load_value"]
+
+
+class LoadMetric(enum.Enum):
+    """Instantaneous-system-load estimator used by TPC."""
+
+    LONG_THREADS = "long_threads"
+    ALL_THREADS = "all_threads"
+    CPU_UTIL = "cpu_util"
+    QUEUE_LENGTH = "queue_length"
+
+
+def load_value(server: "Server", metric: LoadMetric) -> float:
+    """Read the given load metric, in equivalent-active-thread units."""
+    if metric is LoadMetric.LONG_THREADS:
+        return float(server.active_long_threads)
+    if metric is LoadMetric.ALL_THREADS:
+        return float(server.total_active_threads)
+    if metric is LoadMetric.CPU_UTIL:
+        return server.cpu_utilization * server.config.hardware_threads
+    if metric is LoadMetric.QUEUE_LENGTH:
+        return float(server.queue_length)
+    raise ValueError(f"unknown load metric: {metric!r}")

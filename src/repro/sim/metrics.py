@@ -1,0 +1,181 @@
+"""Latency recording, percentiles and tail-latency summaries.
+
+The paper reports the 99th- and 99.9th-percentile of query response
+time (Section 4.1).  :class:`LatencyRecorder` collects per-request
+outcomes from a server run; the module-level helpers compute
+percentiles, CDFs and the weighted tail sum used by MeasureTail in
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .request import Request
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "percentile",
+    "cdf_points",
+    "weighted_tail_latency",
+    "degree_distribution",
+]
+
+
+def percentile(latencies_ms: Sequence[float] | np.ndarray, p: float) -> float:
+    """The ``p``-th percentile (0 < p < 100) of a latency sample."""
+    arr = np.asarray(latencies_ms, dtype=np.float64)
+    if arr.size == 0:
+        raise SimulationError("cannot take a percentile of an empty sample")
+    if not 0 < p < 100:
+        raise SimulationError(f"percentile must be in (0, 100), got {p}")
+    return float(np.percentile(arr, p))
+
+
+def cdf_points(
+    latencies_ms: Sequence[float] | np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as ``(sorted_latencies, cumulative_fraction)``."""
+    arr = np.sort(np.asarray(latencies_ms, dtype=np.float64))
+    if arr.size == 0:
+        raise SimulationError("cannot build a CDF of an empty sample")
+    fractions = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return arr, fractions
+
+
+def weighted_tail_latency(
+    samples: Sequence[Sequence[float] | np.ndarray],
+    weights: Sequence[float],
+    p: float,
+) -> float:
+    """Weighted sum of the ``p``-th percentile across several runs.
+
+    This is the objective MeasureTail returns in Algorithm 1: a
+    predefined experiment covers all production load ranges and the
+    builder minimises the weighted sum of their tail latencies.
+    """
+    if len(samples) != len(weights):
+        raise SimulationError("one weight per sample required")
+    return float(
+        sum(w * percentile(s, p) for s, w in zip(samples, weights))
+    )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Headline statistics of one run."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    p999_ms: float
+    max_ms: float
+
+    def as_row(self) -> dict[str, float]:
+        """Summary as a flat dict (handy for tabular reports)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates completed-request outcomes from one server run.
+
+    Stores response/queueing/execution latency, demand, prediction,
+    initial and maximum parallelism degree and whether dynamic
+    correction fired — everything the paper's tables and figures need.
+    """
+
+    responses_ms: list[float] = field(default_factory=list)
+    queueing_ms: list[float] = field(default_factory=list)
+    executions_ms: list[float] = field(default_factory=list)
+    demands_ms: list[float] = field(default_factory=list)
+    predictions_ms: list[float] = field(default_factory=list)
+    initial_degrees: list[int] = field(default_factory=list)
+    max_degrees: list[int] = field(default_factory=list)
+    corrected: list[bool] = field(default_factory=list)
+
+    def record(self, request: "Request") -> None:
+        """Record one completed request."""
+        self.responses_ms.append(request.response_ms)
+        self.queueing_ms.append(request.queueing_ms)
+        self.executions_ms.append(request.execution_ms)
+        self.demands_ms.append(request.demand_ms)
+        self.predictions_ms.append(request.predicted_ms)
+        self.initial_degrees.append(request.initial_degree)
+        self.max_degrees.append(request.max_degree_seen)
+        self.corrected.append(request.corrected)
+
+    def __len__(self) -> int:
+        return len(self.responses_ms)
+
+    @property
+    def responses(self) -> np.ndarray:
+        """Response times as a numpy array."""
+        return np.asarray(self.responses_ms, dtype=np.float64)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile of response time."""
+        return percentile(self.responses_ms, p)
+
+    def correction_rate(self) -> float:
+        """Fraction of requests whose degree was raised by correction."""
+        if not self.corrected:
+            return 0.0
+        return sum(self.corrected) / len(self.corrected)
+
+    def summary(self) -> LatencySummary:
+        """Headline latency statistics of the run."""
+        arr = self.responses
+        if arr.size == 0:
+            raise SimulationError("no requests recorded")
+        return LatencySummary(
+            count=int(arr.size),
+            mean_ms=float(arr.mean()),
+            p50_ms=percentile(arr, 50),
+            p95_ms=percentile(arr, 95),
+            p99_ms=percentile(arr, 99),
+            p999_ms=percentile(arr, 99.9),
+            max_ms=float(arr.max()),
+        )
+
+
+def degree_distribution(
+    recorder: LatencyRecorder,
+    long_threshold_ms: float,
+    max_degree: int,
+    use_max_degree: bool = True,
+) -> dict[str, list[float]]:
+    """Parallelism-degree distribution by true demand class (Table 2).
+
+    Returns ``{"short": [...], "long": [...]}`` where each list holds
+    the percentage of that class executed at degree 1..max_degree.
+    ``use_max_degree`` counts the highest degree a request attained
+    (capturing dynamic correction); set False for the initial degree.
+    """
+    degrees = recorder.max_degrees if use_max_degree else recorder.initial_degrees
+    counts = {"short": [0] * max_degree, "long": [0] * max_degree}
+    for demand, degree in zip(recorder.demands_ms, degrees):
+        key = "long" if demand > long_threshold_ms else "short"
+        counts[key][min(degree, max_degree) - 1] += 1
+    result: dict[str, list[float]] = {}
+    for key, row in counts.items():
+        total = sum(row)
+        result[key] = [100.0 * c / total if total else 0.0 for c in row]
+    return result

@@ -1,0 +1,371 @@
+"""The ISN server model: worker pool, queue, processor sharing.
+
+The server owns a FIFO waiting queue and a fixed pool of worker
+threads.  A running request with parallelism degree ``d`` occupies
+``d`` workers and progresses at rate ``S(d)`` sequential-work units per
+millisecond (its true speedup), scaled by the processor-sharing factor
+``min(1, C / T)`` when the total number of active threads ``T`` exceeds
+the ``C`` hardware threads — modelling the OS time-sharing of Section
+4.1.  Between events the remaining work of every running request is
+integrated analytically (rates are piecewise constant), so the
+simulation is exact, not time-stepped.
+
+Parallelism policies plug in via three hooks: the degree chosen when a
+request starts, an optional first runtime-check delay, and a check
+callback that may raise the degree mid-flight (dynamic correction,
+RampUp).  Raising a degree charges a configurable ramp-up penalty to
+model task re-partitioning and synchronisation overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..errors import SchedulingError, SimulationError
+from .engine import Engine, EventHandle
+from .metrics import LatencyRecorder
+from .request import Request, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..config import ServerConfig
+    from ..policies.base import ParallelismPolicy
+
+__all__ = ["Server"]
+
+_EPS = 1e-9
+
+
+class Server:
+    """One simulated index-serving node.
+
+    Parameters
+    ----------
+    config:
+        Hardware/worker-pool model.
+    policy:
+        The parallelism policy making degree decisions.
+    engine:
+        Event loop this server schedules on (shared in cluster runs).
+    recorder:
+        Destination for completed-request metrics.
+    long_threshold_ms:
+        Predicted-time threshold above which a request's threads count
+        toward the LongT load metric (Section 4.6).
+    """
+
+    def __init__(
+        self,
+        config: "ServerConfig",
+        policy: "ParallelismPolicy",
+        engine: Engine | None = None,
+        recorder: LatencyRecorder | None = None,
+        long_threshold_ms: float = 80.0,
+        completion_callback=None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.engine = engine if engine is not None else Engine()
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.long_threshold_ms = float(long_threshold_ms)
+        #: Optional hook invoked with each completed request (used by
+        #: the cluster aggregator to observe ISN completions).
+        self.completion_callback = completion_callback
+
+        self.waiting: deque[Request] = deque()
+        self.running: list[Request] = []
+        self._busy_workers = 0
+        self._long_threads = 0
+        self._last_advance = self.engine.now
+        self._completion_handle: EventHandle | None = None
+
+        # CPU-utilisation performance counter (sampled EMA, Section 4.6).
+        self._cpu_util_ema = 0.0
+        self._cpu_busy_integral = 0.0
+        self._cpu_window_start = self.engine.now
+        self._sampler_handle: EventHandle | None = None
+
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # Load-metric surface read by policies (Section 4.6).
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.engine.now
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a worker (WQ-Linear's metric)."""
+        return len(self.waiting)
+
+    @property
+    def running_count(self) -> int:
+        """Number of requests currently executing."""
+        return len(self.running)
+
+    @property
+    def total_active_threads(self) -> int:
+        """AllT: total worker threads currently assigned to requests."""
+        return self._busy_workers
+
+    @property
+    def active_long_threads(self) -> int:
+        """LongT: threads of running requests predicted long (default
+        TPC load metric; long threads persist and shape availability)."""
+        return self._long_threads
+
+    @property
+    def idle_workers(self) -> int:
+        """Spare worker threads (TPC's dynamic-correction resource)."""
+        return self.config.worker_threads - self._busy_workers
+
+    @property
+    def cpu_utilization(self) -> float:
+        """CpuUtil: EMA of sampled utilisation, in [0, 1].
+
+        Deliberately laggy — it aggregates a whole sampling window and
+        carries EMA history — which is exactly why the paper finds it a
+        poor instantaneous-load proxy (Figure 9).
+        """
+        return self._cpu_util_ema
+
+    @property
+    def completed_count(self) -> int:
+        """Requests completed so far."""
+        return len(self.recorder)
+
+    # ------------------------------------------------------------------
+    # Request lifecycle.
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Accept a request at the current simulated time."""
+        if request.state is not RequestState.CREATED:
+            raise SimulationError(f"request {request.rid} already submitted")
+        self._advance()
+        request.arrival_ms = self.now
+        request.state = RequestState.QUEUED
+        self.waiting.append(request)
+        self._ensure_sampler()
+        self._dispatch()
+        self._reschedule_completion()
+
+    def _dispatch(self) -> None:
+        """Start queued requests while workers are idle (FIFO)."""
+        while self.waiting and self.idle_workers > 0:
+            request = self.waiting.popleft()
+            degree = int(self.policy.initial_degree(request, self))
+            if degree < 1:
+                raise SchedulingError(
+                    f"{self.policy.name} chose degree {degree} < 1"
+                )
+            degree = min(degree, self.config.max_parallelism, self.idle_workers)
+            request.state = RequestState.RUNNING
+            request.start_ms = self.now
+            request.degree = degree
+            request.initial_degree = degree
+            request.max_degree_seen = degree
+            self._busy_workers += degree
+            if request.predicted_ms > self.long_threshold_ms:
+                self._long_threads += degree
+            self.running.append(request)
+            delay = self.policy.first_check_delay(request, self)
+            if delay is not None:
+                request.check_handle = self.engine.schedule(
+                    max(0.0, float(delay)), lambda r=request: self._on_check(r)
+                )
+
+    def _on_check(self, request: Request) -> None:
+        """Runtime policy check (dynamic correction / RampUp tick)."""
+        request.check_handle = None
+        if request.state is not RequestState.RUNNING:
+            return
+        self._advance()
+        new_degree, next_delay = self.policy.on_check(request, self)
+        if new_degree is not None and new_degree > request.degree:
+            self.raise_degree(request, int(new_degree))
+        if next_delay is not None and request.state is RequestState.RUNNING:
+            request.check_handle = self.engine.schedule(
+                max(0.0, float(next_delay)), lambda r=request: self._on_check(r)
+            )
+        self._reschedule_completion()
+
+    def raise_degree(self, request: Request, new_degree: int) -> int:
+        """Raise a running request's parallelism degree mid-flight.
+
+        The grant is clamped by idle workers and the server-wide maximum
+        degree; the ramp-up penalty is charged once per increase.
+        Returns the degree actually granted.
+        """
+        if request.state is not RequestState.RUNNING:
+            raise SchedulingError(
+                f"cannot change degree of non-running request {request.rid}"
+            )
+        self._advance()
+        granted = min(
+            new_degree,
+            self.config.max_parallelism,
+            request.degree + self.idle_workers,
+        )
+        if granted <= request.degree:
+            return request.degree
+        delta = granted - request.degree
+        self._busy_workers += delta
+        if request.predicted_ms > self.long_threshold_ms:
+            self._long_threads += delta
+        request.degree = granted
+        request.max_degree_seen = max(request.max_degree_seen, granted)
+        request.degree_changes += 1
+        request.remaining_work_ms += self.config.rampup_penalty_ms
+        self._reschedule_completion()
+        return granted
+
+    def _complete(self, request: Request) -> None:
+        request.state = RequestState.COMPLETED
+        request.finish_ms = self.now
+        self._busy_workers -= request.degree
+        if request.predicted_ms > self.long_threshold_ms:
+            self._long_threads -= request.degree
+        if request.check_handle is not None:
+            request.check_handle.cancel()
+            request.check_handle = None
+        self.running.remove(request)
+        self.recorder.record(request)
+        if self.completion_callback is not None:
+            self.completion_callback(request)
+
+    # ------------------------------------------------------------------
+    # Fluid progress integration.
+    # ------------------------------------------------------------------
+
+    def _contention_factor(self) -> float:
+        """Processor-sharing slowdown of one thread.
+
+        With ``T`` active threads the machine delivers
+        ``total_throughput(T)`` core-equivalents (full speed up to the
+        physical core count, diminished SMT-sibling speed beyond, a
+        hard ceiling past the hardware-thread count), shared equally.
+        """
+        busy = self._busy_workers
+        if busy <= self.config.physical_cores:
+            return 1.0
+        return self.config.total_throughput(busy) / busy
+
+    def _advance(self) -> None:
+        """Integrate remaining work of running requests up to ``now``."""
+        now = self.now
+        dt = now - self._last_advance
+        if dt <= 0:
+            return
+        self._cpu_busy_integral += dt * self.config.total_throughput(
+            self._busy_workers
+        )
+        factor = self._contention_factor()
+        for request in self.running:
+            rate = request.speedup.speedup(request.degree) * factor
+            request.remaining_work_ms -= dt * rate
+        self._last_advance = now
+
+    def _reschedule_completion(self) -> None:
+        """(Re)schedule the single next-completion event."""
+        if self._completion_handle is not None:
+            self._completion_handle.cancel()
+            self._completion_handle = None
+        if not self.running:
+            return
+        factor = self._contention_factor()
+        horizon = min(
+            max(r.remaining_work_ms, 0.0)
+            / (r.speedup.speedup(r.degree) * factor)
+            for r in self.running
+        )
+        self._completion_handle = self.engine.schedule(
+            horizon, self._on_completion_event
+        )
+
+    def _on_completion_event(self) -> None:
+        self._completion_handle = None
+        self._advance()
+        # A request counts as finished when its remaining work is gone or
+        # its time-to-finish drops below 1 ns (guards against the clock
+        # no longer resolving the step, which would re-arm forever).
+        factor = self._contention_factor()
+        finished = [
+            r
+            for r in self.running
+            if r.remaining_work_ms <= _EPS
+            or max(r.remaining_work_ms, 0.0)
+            / (r.speedup.speedup(r.degree) * factor)
+            <= 1e-6
+        ]
+        if not finished:
+            # Rates changed between scheduling and firing; just re-arm.
+            self._reschedule_completion()
+            return
+        for request in finished:
+            self._complete(request)
+        self._dispatch()
+        self._reschedule_completion()
+
+    # ------------------------------------------------------------------
+    # CPU-utilisation sampler.
+    # ------------------------------------------------------------------
+
+    def _ensure_sampler(self) -> None:
+        if self._sampler_handle is None:
+            self._cpu_window_start = self.now
+            self._cpu_busy_integral = 0.0
+            self._sampler_handle = self.engine.schedule(
+                self.config.cpu_sample_interval_ms, self._on_cpu_sample
+            )
+
+    def _on_cpu_sample(self) -> None:
+        self._sampler_handle = None
+        self._advance()
+        window = self.now - self._cpu_window_start
+        if window > 0:
+            sample = self._cpu_busy_integral / (
+                window * self.config.capacity_core_equivalents
+            )
+            alpha = self.config.cpu_ema_alpha
+            self._cpu_util_ema = (
+                alpha * min(sample, 1.0) + (1 - alpha) * self._cpu_util_ema
+            )
+        self._cpu_busy_integral = 0.0
+        self._cpu_window_start = self.now
+        if self.running or self.waiting:
+            self._sampler_handle = self.engine.schedule(
+                self.config.cpu_sample_interval_ms, self._on_cpu_sample
+            )
+        else:
+            self._cpu_util_ema = 0.0
+
+    # ------------------------------------------------------------------
+
+    def run_to_completion(self, expected: int, max_events: int | None = None) -> None:
+        """Drive the engine until ``expected`` requests have completed.
+
+        Convenience for single-server experiments; cluster runs drive a
+        shared engine externally.
+        """
+        budget = max_events
+        while self.completed_count < expected:
+            if not self.engine.step():
+                raise SimulationError(
+                    f"engine drained with {self.completed_count}/{expected} "
+                    "requests complete"
+                )
+            if budget is not None:
+                budget -= 1
+                if budget <= 0:
+                    raise SimulationError("event budget exhausted")
+
+    def __repr__(self) -> str:
+        return (
+            f"Server(policy={self.policy.name}, queued={self.queue_length}, "
+            f"running={self.running_count}, busy={self._busy_workers}/"
+            f"{self.config.worker_threads})"
+        )

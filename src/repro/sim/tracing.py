@@ -1,0 +1,204 @@
+"""Per-request timeline tracing.
+
+Optional observability layer: attach a :class:`RequestTracer` to a
+server and it records a timestamped event timeline for every request —
+arrival, dispatch (with chosen degree), every degree change, and
+completion.  Useful for debugging policies, for the examples, and for
+asserting fine-grained scheduling behaviour in tests without poking at
+server internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .request import Request
+    from .server import Server
+
+__all__ = ["TraceEventKind", "TraceEvent", "RequestTracer", "attach_tracer"]
+
+
+class TraceEventKind(enum.Enum):
+    """Kinds of timeline events."""
+
+    ARRIVAL = "arrival"
+    DISPATCH = "dispatch"
+    DEGREE_CHANGE = "degree_change"
+    COMPLETION = "completion"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry of one request."""
+
+    time_ms: float
+    rid: int
+    kind: TraceEventKind
+    degree: int
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time_ms:9.3f} ms] request {self.rid}: "
+            f"{self.kind.value} (degree={self.degree})"
+        )
+
+
+class RequestTracer:
+    """Collects :class:`TraceEvent` timelines from one server."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError("capacity must be >= 1 or None")
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+
+    def record(
+        self, time_ms: float, rid: int, kind: TraceEventKind, degree: int
+    ) -> None:
+        """Append one event (drops silently once capacity is reached)."""
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            return
+        self._events.append(TraceEvent(time_ms, rid, kind, degree))
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """All recorded events in simulation order."""
+        return tuple(self._events)
+
+    def timeline(self, rid: int) -> list[TraceEvent]:
+        """Events of one request, in order."""
+        return [e for e in self._events if e.rid == rid]
+
+    def requests_traced(self) -> set[int]:
+        """Ids of all requests with at least one event."""
+        return {e.rid for e in self._events}
+
+    def degree_changes(self, rid: int) -> list[tuple[float, int]]:
+        """(time, new_degree) pairs of one request's mid-flight changes."""
+        return [
+            (e.time_ms, e.degree)
+            for e in self.timeline(rid)
+            if e.kind is TraceEventKind.DEGREE_CHANGE
+        ]
+
+    def format_timeline(self, rid: int) -> str:
+        """Human-readable timeline of one request."""
+        lines = [str(e) for e in self.timeline(rid)]
+        return "\n".join(lines) if lines else f"(no events for request {rid})"
+
+    def validate(self) -> None:
+        """Check per-request event-order invariants.
+
+        Raises :class:`SimulationError` on a malformed timeline
+        (e.g. dispatch before arrival, events after completion).
+        """
+        order = {
+            TraceEventKind.ARRIVAL: 0,
+            TraceEventKind.DISPATCH: 1,
+            TraceEventKind.DEGREE_CHANGE: 2,
+            TraceEventKind.COMPLETION: 3,
+        }
+        last_time: dict[int, float] = {}
+        last_stage: dict[int, int] = {}
+        done: set[int] = set()
+        for event in self._events:
+            if event.rid in done:
+                raise SimulationError(
+                    f"request {event.rid} has events after completion"
+                )
+            if event.time_ms < last_time.get(event.rid, float("-inf")) - 1e-9:
+                raise SimulationError(
+                    f"request {event.rid} timeline is not monotone"
+                )
+            stage = order[event.kind]
+            previous = last_stage.get(event.rid, -1)
+            if event.kind is TraceEventKind.DEGREE_CHANGE:
+                if previous < order[TraceEventKind.DISPATCH]:
+                    raise SimulationError(
+                        f"request {event.rid} changed degree before dispatch"
+                    )
+            elif stage <= previous:
+                raise SimulationError(
+                    f"request {event.rid} repeated stage {event.kind.value}"
+                )
+            last_time[event.rid] = event.time_ms
+            last_stage[event.rid] = max(previous, stage)
+            if event.kind is TraceEventKind.COMPLETION:
+                done.add(event.rid)
+
+
+def attach_tracer(
+    server: "Server", capacity: int | None = None
+) -> RequestTracer:
+    """Instrument a server with a tracer (wraps its internal hooks).
+
+    Must be called before any request is submitted.
+    """
+    if server.running or server.waiting or len(server.recorder):
+        raise SimulationError("attach_tracer requires a fresh server")
+    tracer = RequestTracer(capacity)
+
+    original_submit = server.submit
+    original_dispatch = server._dispatch
+    original_raise = server.raise_degree
+    original_complete = server._complete
+
+    def submit(request: "Request") -> None:
+        original_submit(request)
+        # submit() may have dispatched the request immediately; the
+        # arrival event is still recorded first, then the dispatch.
+        tracer._events.insert(
+            _find_insert_point(tracer, server.now, request.rid),
+            TraceEvent(server.now, request.rid, TraceEventKind.ARRIVAL, 0),
+        )
+
+    def dispatch() -> None:
+        already_running = {id(r) for r in server.running}
+        original_dispatch()
+        for request in server.running:
+            if id(request) not in already_running:
+                tracer.record(
+                    server.now,
+                    request.rid,
+                    TraceEventKind.DISPATCH,
+                    request.degree,
+                )
+
+    def raise_degree(request: "Request", new_degree: int) -> int:
+        before = request.degree
+        granted = original_raise(request, new_degree)
+        if granted > before:
+            tracer.record(
+                server.now, request.rid, TraceEventKind.DEGREE_CHANGE, granted
+            )
+        return granted
+
+    def complete(request: "Request") -> None:
+        original_complete(request)
+        tracer.record(
+            server.now, request.rid, TraceEventKind.COMPLETION, request.degree
+        )
+
+    server.submit = submit  # type: ignore[method-assign]
+    server._dispatch = dispatch  # type: ignore[method-assign]
+    server.raise_degree = raise_degree  # type: ignore[method-assign]
+    server._complete = complete  # type: ignore[method-assign]
+    return tracer
+
+
+def _find_insert_point(tracer: RequestTracer, now: float, rid: int) -> int:
+    """Index before any same-time events of ``rid`` (its dispatch)."""
+    events = tracer._events
+    index = len(events)
+    while index > 0:
+        prev = events[index - 1]
+        if prev.rid == rid and prev.time_ms >= now - 1e-12:
+            index -= 1
+        else:
+            break
+    return index

@@ -1,0 +1,91 @@
+"""Shared fixtures: cheap workloads, canonical profiles, helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    PredictorConfig,
+    SearchWorkloadConfig,
+    ServerConfig,
+)
+from repro.core.speedup import SpeedupBook, SpeedupProfile
+from repro.core.target_table import TargetTable
+from repro.finance import build_finance_workload
+from repro.search import build_search_workload
+from repro.sim.request import Request
+
+
+SHORT_PROFILE = SpeedupProfile([1.0, 1.05, 1.08, 1.11, 1.14, 1.16])
+MID_PROFILE = SpeedupProfile([1.0, 1.4, 1.6, 1.8, 1.95, 2.05])
+LONG_PROFILE = SpeedupProfile([1.0, 1.8, 2.5, 3.2, 3.7, 4.1])
+
+
+@pytest.fixture(scope="session")
+def speedup_book() -> SpeedupBook:
+    """The paper's three-group speedup book (Figure 2 values)."""
+    return SpeedupBook([SHORT_PROFILE, MID_PROFILE, LONG_PROFILE])
+
+
+@pytest.fixture(scope="session")
+def target_table() -> TargetTable:
+    """A small adaptive target table for policy tests."""
+    return TargetTable([(0, 40), (4, 50), (8, 65), (16, 90), (32, 130)])
+
+
+@pytest.fixture()
+def server_config() -> ServerConfig:
+    """The paper's ISN hardware model."""
+    return ServerConfig()
+
+
+@pytest.fixture(scope="session")
+def tiny_search_config() -> SearchWorkloadConfig:
+    """A miniature corpus configuration for fast integration tests."""
+    return SearchWorkloadConfig(
+        num_documents=3_000,
+        vocabulary_size=1_500,
+        mean_doc_length=120,
+        hard_term_pool=150,
+        easy_skip_top=15,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_search_workload(tiny_search_config):
+    """A small but complete search workload (built once per session)."""
+    return build_search_workload(
+        seed=11,
+        config=tiny_search_config,
+        predictor_config=PredictorConfig(num_trees=60, max_depth=4),
+        pool_size=1_200,
+        use_cache=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def finance_workload():
+    """The Section 5.1 finance workload."""
+    return build_finance_workload()
+
+
+def make_request(
+    rid: int,
+    demand_ms: float,
+    predicted_ms: float | None = None,
+    profile: SpeedupProfile = LONG_PROFILE,
+) -> Request:
+    """Build a request with sensible defaults for unit tests."""
+    return Request(
+        rid=rid,
+        demand_ms=demand_ms,
+        predicted_ms=demand_ms if predicted_ms is None else predicted_ms,
+        speedup=profile,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(123)

@@ -1,0 +1,57 @@
+"""Tests for workload calibration against Section 2 statistics."""
+
+import numpy as np
+import pytest
+
+from repro.config import SearchWorkloadConfig
+from repro.errors import CalibrationError
+from repro.search.calibrate import calibrate_workload, workload_statistics
+
+
+class TestStatistics:
+    def test_known_sample(self):
+        demands = np.array([1.0] * 85 + [50.0] * 11 + [200.0] * 4)
+        stats = workload_statistics(demands)
+        assert stats.short_fraction == pytest.approx(0.85)
+        assert stats.long_fraction == pytest.approx(0.04)
+        assert stats.median_ms == 1.0
+        assert stats.max_ms == 200.0
+
+    def test_ratios(self):
+        demands = np.array([2.0] * 99 + [100.0])
+        stats = workload_statistics(demands)
+        assert stats.p99_over_median == pytest.approx(stats.p99_ms / 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            workload_statistics(np.array([]))
+
+    def test_as_row_contains_paper_fields(self):
+        stats = workload_statistics(np.array([1.0, 2.0, 3.0]))
+        row = stats.as_row()
+        assert "mean_ms" in row
+        assert "short_fraction(<15ms)" in row
+        assert "p99/median" in row
+
+
+class TestCalibration:
+    def test_scale_matches_mean_exactly(self):
+        cfg = SearchWorkloadConfig()
+        units = np.random.default_rng(0).exponential(1000.0, size=5000)
+        result = calibrate_workload(units, cfg)
+        scaled_mean = float((units * result.ms_per_unit).mean())
+        assert scaled_mean == pytest.approx(cfg.target_mean_ms)
+
+    def test_statistics_reported_at_calibrated_scale(self):
+        cfg = SearchWorkloadConfig()
+        units = np.array([100.0, 200.0, 300.0])
+        result = calibrate_workload(units, cfg)
+        assert result.statistics.mean_ms == pytest.approx(cfg.target_mean_ms)
+
+    def test_rejects_empty(self):
+        with pytest.raises(CalibrationError):
+            calibrate_workload(np.array([]), SearchWorkloadConfig())
+
+    def test_rejects_nonpositive_units(self):
+        with pytest.raises(CalibrationError):
+            calibrate_workload(np.array([1.0, 0.0]), SearchWorkloadConfig())

@@ -1,0 +1,47 @@
+"""Tests for the dynamic-correction controller (Section 3.2)."""
+
+import pytest
+
+from repro.core.correction import CorrectionController
+
+
+class TestCorrectionController:
+    def test_raises_by_idle_workers(self):
+        ctl = CorrectionController(max_degree=6, recheck_ms=5.0)
+        decision = ctl.decide(current_degree=1, idle_workers=3)
+        assert decision.new_degree == 4
+
+    def test_clamped_at_max_degree(self):
+        ctl = CorrectionController(max_degree=6, recheck_ms=5.0)
+        decision = ctl.decide(current_degree=2, idle_workers=20)
+        assert decision.new_degree == 6
+        assert decision.recheck_after_ms is None  # nothing left to do
+
+    def test_partial_grant_schedules_recheck(self):
+        ctl = CorrectionController(max_degree=6, recheck_ms=5.0)
+        decision = ctl.decide(current_degree=1, idle_workers=2)
+        assert decision.new_degree == 3
+        assert decision.recheck_after_ms == 5.0
+
+    def test_no_idle_workers_retries_later(self):
+        ctl = CorrectionController(max_degree=6, recheck_ms=5.0)
+        decision = ctl.decide(current_degree=2, idle_workers=0)
+        assert decision.new_degree is None
+        assert decision.recheck_after_ms == 5.0
+
+    def test_negative_idle_workers_treated_as_zero(self):
+        ctl = CorrectionController(max_degree=6, recheck_ms=5.0)
+        decision = ctl.decide(current_degree=2, idle_workers=-1)
+        assert decision.new_degree is None
+
+    def test_already_at_max_stops_checking(self):
+        ctl = CorrectionController(max_degree=6, recheck_ms=5.0)
+        decision = ctl.decide(current_degree=6, idle_workers=10)
+        assert decision.new_degree is None
+        assert decision.recheck_after_ms is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CorrectionController(max_degree=0, recheck_ms=5.0)
+        with pytest.raises(ValueError):
+            CorrectionController(max_degree=6, recheck_ms=0.0)

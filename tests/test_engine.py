@@ -1,0 +1,110 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append("b"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.schedule_at(9.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_fifo(self):
+        engine = Engine()
+        fired = []
+        for name in ("first", "second", "third"):
+            engine.schedule_at(3.0, lambda n=name: fired.append(n))
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(7.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [7.5]
+        assert engine.now == 7.5
+
+    def test_schedule_relative_delay(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(2.0, lambda: engine.schedule(3.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_rejects_past_events(self):
+        engine = Engine()
+        engine.schedule_at(10.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.run() == 0
+
+    def test_pending_excludes_cancelled(self):
+        engine = Engine()
+        h1 = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        h1.cancel()
+        assert engine.pending == 1
+
+
+class TestRunControl:
+    def test_run_returns_event_count(self):
+        engine = Engine()
+        for t in range(5):
+            engine.schedule_at(float(t), lambda: None)
+        assert engine.run() == 5
+        assert engine.events_run == 5
+
+    def test_run_with_max_events_stops_early(self):
+        engine = Engine()
+        for t in range(5):
+            engine.schedule_at(float(t), lambda: None)
+        assert engine.run(max_events=2) == 2
+        assert engine.pending == 3
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_run_until_executes_due_events_only(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(5.0, lambda: fired.append(5))
+        engine.run_until(3.0)
+        assert fired == [1]
+        assert engine.now == 3.0
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_without_events(self):
+        engine = Engine()
+        engine.run_until(42.0)
+        assert engine.now == 42.0

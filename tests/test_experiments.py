@@ -1,0 +1,169 @@
+"""Tests for the experiment runner, scenarios and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.config import PolicyConfig, ServerConfig, TargetTableConfig
+from repro.core.target_table import TargetTable
+from repro.errors import ConfigError
+from repro.experiments import (
+    DEFAULT_QPS_GRID,
+    FIGURE_POLICIES,
+    format_table,
+    run_load_sweep,
+    run_search_experiment,
+    series_to_rows,
+)
+from repro.experiments.runner import build_search_target_table, make_measure_tail
+from repro.experiments.report import format_cdf_rows
+from repro.sim.load import LoadMetric
+
+
+class TestRunSearchExperiment:
+    def test_basic_run_completes_all(self, tiny_search_workload, target_table):
+        result = run_search_experiment(
+            tiny_search_workload, "TPC", qps=200.0, n_requests=1500,
+            seed=2, target_table=target_table,
+        )
+        assert result.summary.count == 1500
+        assert result.p99_ms > result.summary.p50_ms
+        assert result.p999_ms >= result.p99_ms
+
+    def test_same_seed_is_reproducible(self, tiny_search_workload, target_table):
+        kwargs = dict(qps=300.0, n_requests=800, seed=5, target_table=target_table)
+        a = run_search_experiment(tiny_search_workload, "TPC", **kwargs)
+        b = run_search_experiment(tiny_search_workload, "TPC", **kwargs)
+        np.testing.assert_array_equal(
+            a.recorder.responses, b.recorder.responses
+        )
+
+    def test_policies_see_identical_traces(self, tiny_search_workload, target_table):
+        """Paired comparison: same (seed, qps) -> same demands."""
+        a = run_search_experiment(
+            tiny_search_workload, "Sequential", 200.0, 500, 7,
+            target_table=target_table,
+        )
+        b = run_search_experiment(
+            tiny_search_workload, "TPC", 200.0, 500, 7,
+            target_table=target_table,
+        )
+        assert sorted(a.recorder.demands_ms) == sorted(b.recorder.demands_ms)
+
+    def test_perfect_prediction_mode(self, tiny_search_workload, target_table):
+        result = run_search_experiment(
+            tiny_search_workload, "Pred", 200.0, 500, 3,
+            target_table=target_table, prediction="perfect",
+        )
+        np.testing.assert_allclose(
+            result.recorder.predictions_ms, result.recorder.demands_ms
+        )
+
+    def test_server_config_override(self, tiny_search_workload, target_table):
+        result = run_search_experiment(
+            tiny_search_workload, "TPC", 100.0, 300, 3,
+            target_table=target_table,
+            server_config=ServerConfig(max_parallelism=2),
+        )
+        assert max(result.recorder.max_degrees) <= 2
+
+    def test_degree_distribution_reachable(self, tiny_search_workload, target_table):
+        result = run_search_experiment(
+            tiny_search_workload, "TPC", 200.0, 800, 3,
+            target_table=target_table,
+        )
+        dist = result.degree_distribution()
+        assert set(dist) == {"short", "long"}
+        assert len(dist["short"]) == 6
+
+    def test_rejects_zero_requests(self, tiny_search_workload, target_table):
+        with pytest.raises(ConfigError):
+            run_search_experiment(
+                tiny_search_workload, "TPC", 100.0, 0, 1,
+                target_table=target_table,
+            )
+
+
+class TestRunLoadSweep:
+    def test_sweep_shape(self, tiny_search_workload, target_table):
+        results = run_load_sweep(
+            tiny_search_workload, ["Sequential", "TPC"], [100.0, 300.0],
+            n_requests=500, seed=1, target_table=target_table,
+        )
+        assert set(results) == {"Sequential", "TPC"}
+        assert [r.qps for r in results["TPC"]] == [100.0, 300.0]
+
+
+class TestMeasureTailAndSearch:
+    def test_measure_tail_returns_weighted_sum(self, tiny_search_workload):
+        cfg = TargetTableConfig(
+            measure_loads_qps=(100.0, 200.0),
+            measure_weights=(1.0, 1.0),
+            queries_per_measurement=400,
+        )
+        measure = make_measure_tail(tiny_search_workload, cfg, seed=9)
+        flat = TargetTable.constant(40.0)
+        total = measure(flat)
+        assert total > 0
+
+    def test_measure_tail_deterministic(self, tiny_search_workload):
+        cfg = TargetTableConfig(
+            measure_loads_qps=(150.0,),
+            measure_weights=(1.0,),
+            queries_per_measurement=400,
+        )
+        measure = make_measure_tail(tiny_search_workload, cfg, seed=9)
+        table = TargetTable.constant(40.0)
+        assert measure(table) == measure(table)
+
+    def test_build_search_target_table_runs(self, tiny_search_workload):
+        cfg = TargetTableConfig(
+            load_grid=(0.0, 8.0),
+            initial_target_ms=40.0,
+            step_ms=20.0,
+            measure_loads_qps=(150.0,),
+            measure_weights=(1.0,),
+            queries_per_measurement=300,
+            max_iterations=3,
+        )
+        result = build_search_target_table(tiny_search_workload, cfg, seed=4)
+        assert len(result.table) == 2
+        assert result.measurements >= 3
+
+
+class TestScenarios:
+    def test_qps_grid_covers_paper_range(self):
+        assert min(DEFAULT_QPS_GRID) <= 50
+        assert max(DEFAULT_QPS_GRID) >= 900
+
+    def test_figure_policies_registered(self):
+        from repro.policies import policy_names
+
+        names = set(policy_names())
+        for figure, policies in FIGURE_POLICIES.items():
+            for p in policies:
+                assert p in names, f"{figure} references unknown policy {p}"
+
+
+class TestReport:
+    def test_format_table_aligns_columns(self):
+        text = format_table(
+            ["qps", "p99"], [[150, 52.123], [900, 188.4]], title="Fig 4"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig 4"
+        assert "52.1" in text
+        assert "900" in text
+
+    def test_series_to_rows_pivots(self):
+        headers, rows = series_to_rows(
+            "qps", [100, 200], {"TPC": [1.0, 2.0], "AP": [3.0, 4.0]}
+        )
+        assert headers == ["qps", "TPC", "AP"]
+        assert rows == [[100, 1.0, 3.0], [200, 2.0, 4.0]]
+
+    def test_format_cdf_rows(self):
+        text = format_cdf_rows(
+            {"TPC": [1.0] * 99 + [100.0], "AP": [2.0] * 100}, [50, 99]
+        )
+        assert "P50" in text and "P99" in text
+        assert "TPC" in text and "AP" in text

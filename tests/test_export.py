@@ -1,0 +1,33 @@
+"""Tests for CSV figure export."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.export import series_to_csv, write_series_csv
+
+
+class TestCsvExport:
+    def test_round_trippable_csv(self):
+        text = series_to_csv(
+            "qps", [150, 450], {"TPC": [55.6, 73.0], "Pred": [92.7, 99.3]}
+        )
+        lines = text.strip().splitlines()
+        assert lines[0] == "qps,TPC,Pred"
+        assert lines[1] == "150,55.6,92.7"
+        assert lines[2] == "450,73.0,99.3"
+
+    def test_write_creates_parents(self, tmp_path):
+        out = write_series_csv(
+            tmp_path / "figures" / "fig4.csv",
+            "qps", [100], {"TPC": [50.0]},
+        )
+        assert out.exists()
+        assert "TPC" in out.read_text()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            series_to_csv("x", [1, 2], {"a": [1.0]})
+
+    def test_empty_series_allowed(self):
+        text = series_to_csv("x", [], {})
+        assert text.strip() == "x"

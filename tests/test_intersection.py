@@ -1,0 +1,117 @@
+"""Tests for posting-list intersection algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.search.intersection import (
+    intersect_gallop,
+    intersect_many,
+    intersect_merge,
+)
+
+sorted_arrays = st.lists(
+    st.integers(min_value=0, max_value=500), max_size=80
+).map(lambda xs: np.unique(np.asarray(xs, dtype=np.int64)))
+
+
+class TestMerge:
+    def test_known_intersection(self):
+        result, _ = intersect_merge(
+            np.array([1, 3, 5, 7]), np.array([3, 4, 5, 8])
+        )
+        np.testing.assert_array_equal(result, [3, 5])
+
+    def test_disjoint(self):
+        result, comparisons = intersect_merge(
+            np.array([1, 2]), np.array([3, 4])
+        )
+        assert len(result) == 0
+        assert comparisons <= 4
+
+    def test_empty_input(self):
+        result, comparisons = intersect_merge(np.array([]), np.array([1, 2]))
+        assert len(result) == 0
+        assert comparisons == 0
+
+    def test_cost_linear_in_sizes(self):
+        a = np.arange(0, 1000, 2)
+        b = np.arange(1, 1001, 2)
+        _, comparisons = intersect_merge(a, b)
+        assert comparisons <= len(a) + len(b)
+
+    def test_rejects_2d(self):
+        with pytest.raises(WorkloadError):
+            intersect_merge(np.zeros((2, 2)), np.array([1]))
+
+
+class TestGallop:
+    def test_matches_merge_result(self):
+        a = np.array([2, 9, 14, 100, 205])
+        b = np.arange(0, 300, 3)
+        gallop, _ = intersect_gallop(a, b)
+        merge, _ = intersect_merge(a, b)
+        np.testing.assert_array_equal(gallop, merge)
+
+    def test_cheaper_than_merge_when_skewed(self):
+        small = np.array([5_000, 20_000, 80_000])
+        big = np.arange(100_000)
+        _, gallop_cost = intersect_gallop(small, big)
+        _, merge_cost = intersect_merge(small, big)
+        assert gallop_cost < merge_cost / 100
+
+    def test_order_insensitive(self):
+        a = np.array([1, 5, 9])
+        b = np.arange(10)
+        r1, _ = intersect_gallop(a, b)
+        r2, _ = intersect_gallop(b, a)
+        np.testing.assert_array_equal(r1, r2)
+
+    @given(sorted_arrays, sorted_arrays)
+    def test_agrees_with_numpy(self, a, b):
+        gallop, cost = intersect_gallop(a, b)
+        np.testing.assert_array_equal(gallop, np.intersect1d(a, b))
+        assert cost >= 0
+
+    @given(sorted_arrays, sorted_arrays)
+    def test_merge_agrees_with_numpy(self, a, b):
+        merge, cost = intersect_merge(a, b)
+        np.testing.assert_array_equal(merge, np.intersect1d(a, b))
+        assert cost <= len(a) + len(b)
+
+
+class TestKWay:
+    def test_three_way(self):
+        lists = [
+            np.array([1, 2, 3, 4, 5, 6]),
+            np.array([2, 4, 6, 8]),
+            np.array([4, 6, 10]),
+        ]
+        result, _ = intersect_many(lists)
+        np.testing.assert_array_equal(result, [4, 6])
+
+    def test_single_list_is_identity(self):
+        a = np.array([1, 2, 3])
+        result, cost = intersect_many([a])
+        np.testing.assert_array_equal(result, a)
+        assert cost == 0
+
+    def test_early_exit_on_empty(self):
+        lists = [np.array([]), np.arange(1000), np.arange(1000)]
+        result, cost = intersect_many(lists)
+        assert len(result) == 0
+        assert cost == 0  # smallest-first ordering short-circuits
+
+    def test_merge_and_gallop_agree(self):
+        rng = np.random.default_rng(0)
+        lists = [
+            np.unique(rng.integers(0, 2000, size=s)) for s in (50, 400, 900)
+        ]
+        ga, _ = intersect_many(lists, gallop=True)
+        me, _ = intersect_many(lists, gallop=False)
+        np.testing.assert_array_equal(ga, me)
+
+    def test_rejects_empty_list_of_lists(self):
+        with pytest.raises(WorkloadError):
+            intersect_many([])

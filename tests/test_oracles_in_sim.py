@@ -1,0 +1,72 @@
+"""Behavioural tests of prediction quality knobs inside the simulator.
+
+These complement the oracle unit tests: they verify that the
+*scheduling consequences* of prediction quality match Section 4.6 —
+better predictions narrow the TP/TPC gap, worse predictions widen it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_search_experiment
+from repro.core.target_table import TargetTable
+
+TT = TargetTable([(0, 30), (4, 40), (8, 55), (16, 70), (32, 90)])
+
+
+@pytest.fixture(scope="module")
+def results(tiny_search_workload):
+    out = {}
+    for policy in ("TP", "TPC"):
+        for mode, sigma in (
+            ("perfect", 0.0),
+            ("oracle-mild", 0.3),
+            ("oracle-wild", 1.2),
+        ):
+            prediction = "perfect" if mode == "perfect" else "oracle"
+            out[(policy, mode)] = run_search_experiment(
+                tiny_search_workload, policy, 450.0, 6000, 19,
+                target_table=TT, prediction=prediction, oracle_sigma=sigma,
+            )
+    return out
+
+
+class TestPredictionQualityEffects:
+    def test_perfect_predictor_equalises_tp_and_tpc(self, results):
+        """With exact predictions nothing needs correcting: TP == TPC
+        up to correction-timer noise."""
+        tp = results[("TP", "perfect")].p999_ms
+        tpc = results[("TPC", "perfect")].p999_ms
+        assert tpc == pytest.approx(tp, rel=0.15)
+
+    def test_correction_rate_grows_with_noise(self, results):
+        rates = [
+            results[("TPC", mode)].recorder.correction_rate()
+            for mode in ("perfect", "oracle-mild", "oracle-wild")
+        ]
+        assert rates[0] <= rates[1] <= rates[2]
+        assert rates[2] > rates[0]
+
+    def test_tp_degrades_faster_than_tpc(self, results):
+        tp_growth = (
+            results[("TP", "oracle-wild")].p999_ms
+            / results[("TP", "perfect")].p999_ms
+        )
+        tpc_growth = (
+            results[("TPC", "oracle-wild")].p999_ms
+            / results[("TPC", "perfect")].p999_ms
+        )
+        assert tp_growth > tpc_growth
+
+    def test_wild_noise_still_bounded_by_correction(self, results):
+        """Even with sigma=1.2 predictions, TPC's worst response stays
+        far below TP's — correction bounds the extreme tail that wild
+        mispredictions create."""
+        assert (
+            results[("TPC", "oracle-wild")].summary.max_ms
+            < results[("TP", "oracle-wild")].summary.max_ms * 0.8
+        )
+        assert (
+            results[("TPC", "oracle-wild")].p999_ms
+            <= results[("TP", "oracle-wild")].p999_ms * 1.02
+        )

@@ -1,0 +1,98 @@
+"""Integration tests for the assembled search workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+
+
+class TestWorkloadShape:
+    def test_demand_statistics_match_paper_targets(self, tiny_search_workload):
+        """Even the miniature corpus should land near the Section 2
+        statistics the mixture was designed for."""
+        stats = tiny_search_workload.statistics
+        assert stats.mean_ms == pytest.approx(13.47, abs=0.01)  # exact by calibration
+        assert 0.70 < stats.short_fraction < 0.95
+        assert 0.01 < stats.long_fraction < 0.12
+        assert stats.p99_ms > 5 * stats.mean_ms
+
+    def test_group_weights_sum_to_one(self, tiny_search_workload):
+        assert sum(tiny_search_workload.group_weights) == pytest.approx(1.0)
+        assert tiny_search_workload.group_weights[0] > 0.5  # mostly short
+
+    def test_speedup_book_orders_groups(self, tiny_search_workload):
+        book = tiny_search_workload.speedup_book
+        s6 = [book.profile_of_group(g).speedup(6) for g in range(3)]
+        assert s6[0] < s6[1] < s6[2]
+
+    def test_predictor_report_plausible(self, tiny_search_workload):
+        report = tiny_search_workload.predictor_report
+        assert report.l1_error_ms < tiny_search_workload.statistics.mean_ms * 2
+        assert report.recall > 0.5
+        assert report.precision > 0.5
+
+    def test_pool_arrays_aligned(self, tiny_search_workload):
+        w = tiny_search_workload
+        assert len(w.pool_demands_ms) == len(w.pool_predictions_ms)
+        assert len(w.pool_demands_ms) == len(w.pool_profiles)
+        assert w.pool_size == len(w.pool_demands_ms)
+
+
+class TestMakeRequests:
+    def test_trace_sampling(self, tiny_search_workload, rng):
+        reqs = tiny_search_workload.make_requests(500, rng)
+        assert len(reqs) == 500
+        assert len({r.rid for r in reqs}) == 500
+        assert all(r.demand_ms > 0 for r in reqs)
+
+    def test_rid_offset(self, tiny_search_workload, rng):
+        reqs = tiny_search_workload.make_requests(5, rng, rid_offset=100)
+        assert [r.rid for r in reqs] == [100, 101, 102, 103, 104]
+
+    def test_perfect_prediction_equals_demand(self, tiny_search_workload, rng):
+        reqs = tiny_search_workload.make_requests(100, rng, prediction="perfect")
+        for r in reqs:
+            assert r.predicted_ms == pytest.approx(r.demand_ms)
+
+    def test_oracle_mode_perturbs(self, tiny_search_workload, rng):
+        reqs = tiny_search_workload.make_requests(
+            200, rng, prediction="oracle", oracle_sigma=0.5
+        )
+        ratios = [r.predicted_ms / r.demand_ms for r in reqs]
+        assert np.std(np.log(ratios)) > 0.3
+
+    def test_model_predictions_differ_from_truth(self, tiny_search_workload, rng):
+        reqs = tiny_search_workload.make_requests(200, rng, prediction="model")
+        assert any(
+            abs(r.predicted_ms - r.demand_ms) > 0.5 for r in reqs
+        )
+
+    def test_execution_noise_varies_repeats(self, tiny_search_workload):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        a = tiny_search_workload.make_requests(50, rng_a)
+        b = tiny_search_workload.make_requests(50, rng_b)
+        # Same rng -> identical trace (reproducibility).
+        assert all(
+            x.demand_ms == y.demand_ms for x, y in zip(a, b)
+        )
+
+    def test_rejects_bad_mode(self, tiny_search_workload, rng):
+        with pytest.raises(WorkloadError):
+            tiny_search_workload.make_requests(5, rng, prediction="psychic")
+
+    def test_rejects_zero_count(self, tiny_search_workload, rng):
+        with pytest.raises(WorkloadError):
+            tiny_search_workload.make_requests(0, rng)
+
+
+class TestMispredictedLong:
+    def test_some_long_queries_predicted_short(self, tiny_search_workload, rng):
+        """The crux of the paper: an imperfect predictor leaves a small
+        fraction of genuinely long queries classified short."""
+        reqs = tiny_search_workload.make_requests(4000, rng)
+        mispredicted = [
+            r for r in reqs if r.demand_ms > 80.0 and r.predicted_ms <= 80.0
+        ]
+        long_total = [r for r in reqs if r.demand_ms > 80.0]
+        assert 0 < len(mispredicted) < len(long_total)

@@ -1,0 +1,158 @@
+"""Tests for speedup profiles and the grouped speedup book."""
+
+import pytest
+
+from repro.config import DEFAULT_GROUP_BOUNDS_MS
+from repro.core.speedup import (
+    SpeedupBook,
+    SpeedupProfile,
+    amdahl_profile,
+    demand_group,
+)
+from repro.errors import ConfigError
+
+from conftest import LONG_PROFILE, MID_PROFILE, SHORT_PROFILE
+
+
+class TestSpeedupProfile:
+    def test_degree_one_is_unity(self):
+        assert LONG_PROFILE[1] == 1.0
+
+    def test_indexing_is_one_based(self):
+        assert LONG_PROFILE[6] == pytest.approx(4.1)
+        with pytest.raises(IndexError):
+            LONG_PROFILE[0]
+        with pytest.raises(IndexError):
+            LONG_PROFILE[7]
+
+    def test_speedup_saturates_beyond_max_degree(self):
+        assert LONG_PROFILE.speedup(10) == LONG_PROFILE.speedup(6)
+
+    def test_execution_time_divides_by_speedup(self):
+        assert LONG_PROFILE.execution_time(164.0, 6) == pytest.approx(40.0)
+
+    def test_efficiency_decreases_with_degree(self):
+        effs = [LONG_PROFILE.efficiency(d) for d in range(1, 7)]
+        assert all(b <= a + 1e-12 for a, b in zip(effs, effs[1:]))
+
+    def test_rejects_s1_not_one(self):
+        with pytest.raises(ConfigError):
+            SpeedupProfile([2.0, 3.0])
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ConfigError):
+            SpeedupProfile([1.0, 2.0, 1.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            SpeedupProfile([])
+
+    def test_rejects_wildly_superlinear(self):
+        with pytest.raises(ConfigError):
+            SpeedupProfile([1.0, 30.0])
+
+    def test_truncated_limits_max_degree(self):
+        assert LONG_PROFILE.truncated(3).max_degree == 3
+        assert LONG_PROFILE.truncated(3).speedup(3) == LONG_PROFILE.speedup(3)
+
+    def test_equality_and_hash(self):
+        assert SpeedupProfile([1.0, 2.0]) == SpeedupProfile([1.0, 2.0])
+        assert hash(SpeedupProfile([1.0, 2.0])) == hash(SpeedupProfile([1.0, 2.0]))
+        assert SpeedupProfile([1.0, 2.0]) != SpeedupProfile([1.0, 1.5])
+
+
+class TestAmdahlProfile:
+    def test_zero_serial_fraction_is_linear(self):
+        profile = amdahl_profile(4, 0.0)
+        assert profile.speedup(4) == pytest.approx(4.0)
+
+    def test_serial_fraction_bounds_speedup(self):
+        profile = amdahl_profile(16, 0.25)
+        assert profile.speedup(16) < 4.0  # Amdahl limit 1/f = 4
+
+    def test_per_thread_loss_reduces_speedup(self):
+        lossless = amdahl_profile(6, 0.05)
+        lossy = amdahl_profile(6, 0.05, per_thread_loss=0.05)
+        assert lossy.speedup(6) < lossless.speedup(6)
+
+    def test_profile_is_monotone_even_with_heavy_loss(self):
+        profile = amdahl_profile(8, 0.1, per_thread_loss=0.3)
+        values = profile.speedups
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_serial_fraction(self):
+        with pytest.raises(ConfigError):
+            amdahl_profile(4, 1.0)
+
+
+class TestDemandGroup:
+    def test_paper_group_boundaries(self):
+        assert demand_group(10.0) == 0  # short: < 30 ms
+        assert demand_group(50.0) == 1  # mid: 30-80 ms
+        assert demand_group(150.0) == 2  # long: > 80 ms
+
+    def test_boundary_values_join_the_higher_group(self):
+        assert demand_group(30.0) == 1
+        assert demand_group(80.0) == 2
+        assert demand_group(29.999) == 0
+        assert demand_group(79.999) == 1
+
+    def test_custom_bounds(self):
+        assert demand_group(5.0, [10.0]) == 0
+        assert demand_group(15.0, [10.0]) == 1
+
+
+class TestSpeedupBook:
+    def test_profile_lookup_by_demand(self, speedup_book):
+        assert speedup_book.profile_for(10.0) is SHORT_PROFILE
+        assert speedup_book.profile_for(50.0) is MID_PROFILE
+        assert speedup_book.profile_for(150.0) is LONG_PROFILE
+
+    def test_group_count_and_bounds(self, speedup_book):
+        assert speedup_book.num_groups == 3
+        assert speedup_book.bounds_ms == DEFAULT_GROUP_BOUNDS_MS
+
+    def test_rejects_profile_count_mismatch(self):
+        with pytest.raises(ConfigError):
+            SpeedupBook([SHORT_PROFILE, LONG_PROFILE])
+
+    def test_rejects_mixed_max_degree(self):
+        with pytest.raises(ConfigError):
+            SpeedupBook(
+                [SHORT_PROFILE, MID_PROFILE, SpeedupProfile([1.0, 2.0])]
+            )
+
+    def test_from_samples_averages_within_groups(self):
+        demands = [10.0, 20.0, 100.0, 200.0]
+        profiles = [
+            SpeedupProfile([1.0, 1.0]),
+            SpeedupProfile([1.0, 1.2]),
+            SpeedupProfile([1.0, 1.8]),
+            SpeedupProfile([1.0, 2.0]),
+        ]
+        book = SpeedupBook.from_samples(demands, profiles)
+        assert book.profile_of_group(0).speedup(2) == pytest.approx(1.1)
+        assert book.profile_of_group(2).speedup(2) == pytest.approx(1.9)
+
+    def test_from_samples_empty_group_inherits_neighbour(self):
+        book = SpeedupBook.from_samples(
+            [10.0], [SpeedupProfile([1.0, 1.5])]
+        )
+        # mid and long groups had no samples; they inherit short's.
+        assert book.profile_of_group(1).speedup(2) == pytest.approx(1.5)
+
+    def test_from_samples_rejects_misaligned(self):
+        with pytest.raises(ConfigError):
+            SpeedupBook.from_samples([1.0, 2.0], [SpeedupProfile([1.0])])
+
+    def test_split_groups_doubles_count(self, speedup_book):
+        split = speedup_book.split_groups()
+        assert split.num_groups == 6
+        # Sub-groups inherit the parent profile.
+        assert split.profile_for(10.0) == speedup_book.profile_for(10.0)
+        assert split.profile_for(150.0) == speedup_book.profile_for(150.0)
+
+    def test_split_groups_preserves_lookup_semantics(self, speedup_book):
+        split = speedup_book.split_groups()
+        for demand in (5.0, 25.0, 45.0, 70.0, 120.0, 400.0):
+            assert split.profile_for(demand) == speedup_book.profile_for(demand)

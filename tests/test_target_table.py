@@ -1,0 +1,83 @@
+"""Tests for the target table (Section 3.3 lookup semantics)."""
+
+import pytest
+
+from repro.core.target_table import TargetTable
+from repro.errors import TargetTableError
+
+
+class TestConstruction:
+    def test_entries_preserved(self):
+        table = TargetTable([(0, 30), (4, 50)])
+        assert table.entries == ((0.0, 30.0), (4.0, 50.0))
+        assert len(table) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(TargetTableError):
+            TargetTable([])
+
+    def test_rejects_unsorted_loads(self):
+        with pytest.raises(TargetTableError):
+            TargetTable([(4, 50), (0, 30)])
+
+    def test_rejects_duplicate_loads(self):
+        with pytest.raises(TargetTableError):
+            TargetTable([(4, 50), (4, 60)])
+
+    def test_rejects_nonpositive_targets(self):
+        with pytest.raises(TargetTableError):
+            TargetTable([(0, 0.0)])
+
+    def test_uniform_constructor(self):
+        table = TargetTable.uniform([0, 2, 4], 25.0)
+        assert table.targets == (25.0, 25.0, 25.0)
+
+    def test_constant_constructor(self):
+        assert TargetTable.constant(40.0).target_for(999.0) == 40.0
+
+
+class TestLookup:
+    """target_for(d) returns e_i with d_{i-1} < d <= d_i."""
+
+    def test_zero_load_uses_first_entry(self):
+        table = TargetTable([(0, 30), (4, 50), (8, 70)])
+        assert table.target_for(0.0) == 30.0
+
+    def test_interval_semantics(self):
+        table = TargetTable([(0, 30), (4, 50), (8, 70)])
+        assert table.target_for(1.0) == 50.0  # 0 < 1 <= 4
+        assert table.target_for(4.0) == 50.0  # boundary inclusive
+        assert table.target_for(4.5) == 70.0
+
+    def test_load_beyond_last_breakpoint_uses_last_target(self):
+        table = TargetTable([(0, 30), (4, 50)])
+        assert table.target_for(1000.0) == 50.0
+
+    def test_monotone_tables_give_monotone_targets(self):
+        table = TargetTable([(0, 25), (3, 30), (6, 40), (10, 60)])
+        targets = [table.target_for(x * 0.5) for x in range(30)]
+        assert all(b >= a for a, b in zip(targets, targets[1:]))
+
+
+class TestMutation:
+    def test_with_target_replaces_one_entry(self):
+        table = TargetTable([(0, 30), (4, 50)])
+        new = table.with_target(1, 55.0)
+        assert new.targets == (30.0, 55.0)
+        assert table.targets == (30.0, 50.0)  # original untouched
+
+    def test_bumped_adds_step(self):
+        table = TargetTable([(0, 30), (4, 50)])
+        assert table.bumped(0, 5.0).targets == (35.0, 50.0)
+
+    def test_with_target_rejects_bad_index(self):
+        table = TargetTable([(0, 30)])
+        with pytest.raises(TargetTableError):
+            table.with_target(1, 40.0)
+
+    def test_equality_and_hash(self):
+        a = TargetTable([(0, 30), (4, 50)])
+        b = TargetTable([(0, 30), (4, 50)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != a.bumped(0, 5.0)

@@ -1,0 +1,131 @@
+"""Tests for the request-timeline tracer."""
+
+import pytest
+
+from repro.config import ServerConfig
+from repro.core.target_table import TargetTable
+from repro.errors import SimulationError
+from repro.policies import TPCPolicy
+from repro.sim.engine import Engine
+from repro.sim.server import Server
+from repro.sim.tracing import (
+    RequestTracer,
+    TraceEvent,
+    TraceEventKind,
+    attach_tracer,
+)
+
+from conftest import LONG_PROFILE, make_request
+from test_server import FixedDegreePolicy
+
+
+def traced_server(policy, **kwargs):
+    cfg = ServerConfig(**kwargs) if kwargs else ServerConfig()
+    server = Server(cfg, policy, engine=Engine())
+    tracer = attach_tracer(server)
+    return server, tracer
+
+
+class TestTimeline:
+    def test_simple_lifecycle(self):
+        server, tracer = traced_server(FixedDegreePolicy(2))
+        req = make_request(0, 20.0)
+        server.submit(req)
+        server.run_to_completion(1)
+        kinds = [e.kind for e in tracer.timeline(0)]
+        assert kinds == [
+            TraceEventKind.ARRIVAL,
+            TraceEventKind.DISPATCH,
+            TraceEventKind.COMPLETION,
+        ]
+
+    def test_dispatch_records_chosen_degree(self):
+        server, tracer = traced_server(FixedDegreePolicy(4))
+        server.submit(make_request(0, 20.0))
+        dispatch = tracer.timeline(0)[1]
+        assert dispatch.kind is TraceEventKind.DISPATCH
+        assert dispatch.degree == 4
+
+    def test_queued_request_dispatches_later(self):
+        server, tracer = traced_server(
+            FixedDegreePolicy(1), worker_threads=1, max_parallelism=1
+        )
+        server.submit(make_request(0, 30.0))
+        server.submit(make_request(1, 10.0))
+        server.run_to_completion(2)
+        timeline = tracer.timeline(1)
+        arrival, dispatch = timeline[0], timeline[1]
+        assert dispatch.time_ms == pytest.approx(30.0)
+        assert arrival.time_ms == pytest.approx(dispatch.time_ms - 30.0, abs=1)
+
+    def test_correction_appears_as_degree_change(self, speedup_book):
+        table = TargetTable.constant(40.0)
+        policy = TPCPolicy(table, speedup_book)
+        server = Server(ServerConfig(), policy, engine=Engine())
+        tracer = attach_tracer(server)
+        req = make_request(0, 200.0, predicted_ms=10.0, profile=LONG_PROFILE)
+        server.submit(req)
+        server.run_to_completion(1)
+        changes = tracer.degree_changes(0)
+        assert changes, "correction should have changed the degree"
+        time, degree = changes[0]
+        assert time == pytest.approx(40.0, abs=1.0)  # fired at E
+        assert degree == 6
+
+    def test_validate_accepts_real_run(self):
+        server, tracer = traced_server(FixedDegreePolicy(2))
+        for i in range(20):
+            server.submit(make_request(i, 5.0 + i))
+        server.run_to_completion(20)
+        tracer.validate()
+        assert tracer.requests_traced() == set(range(20))
+
+    def test_format_timeline_readable(self):
+        server, tracer = traced_server(FixedDegreePolicy(1))
+        server.submit(make_request(0, 5.0))
+        server.run_to_completion(1)
+        text = tracer.format_timeline(0)
+        assert "arrival" in text and "completion" in text
+        assert tracer.format_timeline(99).startswith("(no events")
+
+
+class TestValidation:
+    def test_detects_events_after_completion(self):
+        tracer = RequestTracer()
+        tracer.record(0.0, 1, TraceEventKind.ARRIVAL, 0)
+        tracer.record(1.0, 1, TraceEventKind.DISPATCH, 1)
+        tracer.record(2.0, 1, TraceEventKind.COMPLETION, 1)
+        tracer.record(3.0, 1, TraceEventKind.DEGREE_CHANGE, 2)
+        with pytest.raises(SimulationError):
+            tracer.validate()
+
+    def test_detects_degree_change_before_dispatch(self):
+        tracer = RequestTracer()
+        tracer.record(0.0, 1, TraceEventKind.ARRIVAL, 0)
+        tracer.record(1.0, 1, TraceEventKind.DEGREE_CHANGE, 2)
+        with pytest.raises(SimulationError):
+            tracer.validate()
+
+    def test_detects_non_monotone_times(self):
+        tracer = RequestTracer()
+        tracer.record(5.0, 1, TraceEventKind.ARRIVAL, 0)
+        tracer.record(1.0, 1, TraceEventKind.DISPATCH, 1)
+        with pytest.raises(SimulationError):
+            tracer.validate()
+
+    def test_capacity_caps_recording(self):
+        tracer = RequestTracer(capacity=2)
+        for t in range(5):
+            tracer.record(float(t), t, TraceEventKind.ARRIVAL, 0)
+        assert len(tracer.events) == 2
+
+    def test_attach_requires_fresh_server(self):
+        server = Server(ServerConfig(), FixedDegreePolicy(1), engine=Engine())
+        server.submit(make_request(0, 5.0))
+        with pytest.raises(SimulationError):
+            attach_tracer(server)
+
+    def test_event_str(self):
+        event = TraceEvent(1.5, 7, TraceEventKind.DISPATCH, 3)
+        assert "request 7" in str(event)
+        assert "dispatch" in str(event)

@@ -1,0 +1,103 @@
+"""Tests for the search-workload disk cache and report formatting."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import PredictorConfig, SearchWorkloadConfig
+from repro.experiments.report import format_table
+from repro.search import build_search_workload
+
+
+@pytest.fixture()
+def tiny_cfg():
+    return SearchWorkloadConfig(
+        num_documents=800, vocabulary_size=500, mean_doc_length=60
+    )
+
+
+@pytest.fixture()
+def fast_predictor():
+    return PredictorConfig(num_trees=10, max_depth=2)
+
+
+class TestDiskCache:
+    def test_cache_roundtrip_identical(self, tiny_cfg, fast_predictor,
+                                       tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = build_search_workload(
+            seed=3, config=tiny_cfg, predictor_config=fast_predictor,
+            pool_size=300, use_cache=True,
+        )
+        cached_files = list(tmp_path.glob("search-pool-*.npz"))
+        assert len(cached_files) == 1
+        second = build_search_workload(
+            seed=3, config=tiny_cfg, predictor_config=fast_predictor,
+            pool_size=300, use_cache=True,
+        )
+        np.testing.assert_array_equal(
+            first.pool_demands_ms, second.pool_demands_ms
+        )
+        np.testing.assert_array_equal(
+            first.pool_predictions_ms, second.pool_predictions_ms
+        )
+
+    def test_cache_key_distinguishes_configs(self, tiny_cfg, fast_predictor,
+                                             tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        build_search_workload(
+            seed=3, config=tiny_cfg, predictor_config=fast_predictor,
+            pool_size=300, use_cache=True,
+        )
+        other_cfg = SearchWorkloadConfig(
+            num_documents=800, vocabulary_size=500, mean_doc_length=60,
+            hard_query_fraction=0.2,
+        )
+        build_search_workload(
+            seed=3, config=other_cfg, predictor_config=fast_predictor,
+            pool_size=300, use_cache=True,
+        )
+        assert len(list(tmp_path.glob("search-pool-*.npz"))) == 2
+
+    def test_use_cache_false_writes_nothing(self, tiny_cfg, fast_predictor,
+                                            tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        build_search_workload(
+            seed=3, config=tiny_cfg, predictor_config=fast_predictor,
+            pool_size=300, use_cache=False,
+        )
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_matches_uncached_build(self, tiny_cfg, fast_predictor,
+                                    tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cached = build_search_workload(
+            seed=5, config=tiny_cfg, predictor_config=fast_predictor,
+            pool_size=300, use_cache=True,
+        )
+        uncached = build_search_workload(
+            seed=5, config=tiny_cfg, predictor_config=fast_predictor,
+            pool_size=300, use_cache=False,
+        )
+        np.testing.assert_allclose(
+            cached.pool_demands_ms, uncached.pool_demands_ms
+        )
+
+
+class TestReportFormatting:
+    def test_nan_rendered_as_dash(self):
+        text = format_table(["a"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_small_floats_keep_precision(self):
+        text = format_table(["x"], [[0.042]])
+        assert "0.042" in text
+
+    def test_large_floats_one_decimal(self):
+        text = format_table(["x"], [[123.456]])
+        assert "123.5" in text
+
+    def test_empty_rows_allowed(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
