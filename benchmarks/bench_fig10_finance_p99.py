@@ -12,8 +12,9 @@ from conftest import (
     BENCH_SEED,
     bench_queries,
     emit,
+    exec_kwargs,
 )
-from repro.experiments import run_search_experiment
+from repro.experiments import run_load_sweep
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import DEFAULT_RPS_GRID_FINANCE
 
@@ -25,20 +26,25 @@ _SWEEP_CACHE: dict[str, dict] = {}
 
 def run_finance_sweep(finance, finance_table, finance_server_config,
                       finance_policy_config):
-    """Shared by Figures 10 and 11 (computed once per session)."""
+    """Shared by Figures 10 and 11 (computed once per session).
+
+    Declared as one (policy x RPS) sweep so the exec pool runs the
+    cells concurrently; the finance workload is rebuilt from its config
+    inside each worker.
+    """
     if "sweep" in _SWEEP_CACHE:
         return _SWEEP_CACHE["sweep"]
-    results = {}
-    for policy in POLICIES:
-        results[policy] = [
-            run_search_experiment(
-                finance, policy, rps, bench_queries(), BENCH_SEED,
-                target_table=finance_table,
-                server_config=finance_server_config,
-                policy_config=finance_policy_config,
-            )
-            for rps in DEFAULT_RPS_GRID_FINANCE
-        ]
+    results = run_load_sweep(
+        finance,
+        POLICIES,
+        DEFAULT_RPS_GRID_FINANCE,
+        n_requests=bench_queries(),
+        seed=BENCH_SEED,
+        target_table=finance_table,
+        server_config=finance_server_config,
+        policy_config=finance_policy_config,
+        **exec_kwargs(),
+    )
     _SWEEP_CACHE["sweep"] = results
     return results
 

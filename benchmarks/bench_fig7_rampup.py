@@ -6,8 +6,8 @@ defer acceleration and lose everywhere to early, predicted
 parallelism.  TPC beats the *best* RampUp interval at every load.
 """
 
-from conftest import BENCH_SEED, bench_queries, emit, qps_grid
-from repro.experiments import run_search_experiment
+from conftest import BENCH_SEED, bench_queries, emit, exec_kwargs, qps_grid
+from repro.experiments import run_load_sweep
 from repro.experiments.report import format_table
 
 INTERVALS = (5.0, 10.0, 20.0)
@@ -15,23 +15,21 @@ INTERVALS = (5.0, 10.0, 20.0)
 
 def _run(workload, search_table):
     grid = qps_grid()
-    series = {"TPC": []}
-    for qps in grid:
-        series["TPC"].append(
-            run_search_experiment(
-                workload, "TPC", qps, bench_queries(), BENCH_SEED,
-                target_table=search_table,
-            ).p99_ms
-        )
+    tpc = run_load_sweep(
+        workload, ["TPC"], grid,
+        n_requests=bench_queries(), seed=BENCH_SEED,
+        target_table=search_table,
+        **exec_kwargs(),
+    )
+    series = {"TPC": [r.p99_ms for r in tpc["TPC"]]}
     for interval in INTERVALS:
-        key = f"RampUp-{interval:g}ms"
-        series[key] = [
-            run_search_experiment(
-                workload, "RampUp", qps, bench_queries(), BENCH_SEED,
-                rampup_interval_ms=interval,
-            ).p99_ms
-            for qps in grid
-        ]
+        sweep = run_load_sweep(
+            workload, ["RampUp"], grid,
+            n_requests=bench_queries(), seed=BENCH_SEED,
+            rampup_interval_ms=interval,
+            **exec_kwargs(),
+        )
+        series[f"RampUp-{interval:g}ms"] = [r.p99_ms for r in sweep["RampUp"]]
     return series
 
 

@@ -30,6 +30,9 @@ QPS = 450.0
 def _run(workload, search_table):
     results = {}
     for policy in POLICIES:
+        # workers=None: fan the per-ISN simulations over the exec pool
+        # (REPRO_BENCH_WORKERS / cpu count); numbers are bit-identical
+        # to the single-process run.
         results[policy] = run_cluster_experiment(
             workload,
             policy,
@@ -38,6 +41,7 @@ def _run(workload, search_table):
             BENCH_SEED,
             cluster_config=ClusterConfig(num_isns=cluster_isns()),
             target_table=search_table,
+            workers=None,
         )
     return results
 

@@ -7,8 +7,8 @@ threads (AllT) is close; the sampled, EMA-smoothed CPU utilisation
 further as load grows.
 """
 
-from conftest import BENCH_SEED, bench_queries, emit, qps_grid
-from repro.experiments import run_search_experiment
+from conftest import BENCH_SEED, bench_queries, emit, exec_kwargs, qps_grid
+from repro.experiments import run_load_sweep
 from repro.experiments.report import format_table
 from repro.sim.load import LoadMetric
 
@@ -23,13 +23,13 @@ def _run(workload, search_table):
     grid = qps_grid()
     series = {}
     for name, metric in METRICS.items():
-        series[name] = [
-            run_search_experiment(
-                workload, "TPC", qps, bench_queries(), BENCH_SEED,
-                target_table=search_table, load_metric=metric,
-            ).p99_ms
-            for qps in grid
-        ]
+        sweep = run_load_sweep(
+            workload, ["TPC"], grid,
+            n_requests=bench_queries(), seed=BENCH_SEED,
+            target_table=search_table, load_metric=metric,
+            **exec_kwargs(),
+        )
+        series[name] = [r.p99_ms for r in sweep["TPC"]]
     return series
 
 

@@ -30,9 +30,11 @@ SEARCH_CONFIG = TargetTableConfig(
 
 
 def test_algorithm1_search(benchmark, workload):
+    # The per-iteration candidate measurements fan out across the exec
+    # pool (workers=None resolves REPRO_BENCH_WORKERS / cpu count).
     result = benchmark.pedantic(
         lambda: build_search_target_table(
-            workload, SEARCH_CONFIG, seed=BENCH_SEED
+            workload, SEARCH_CONFIG, seed=BENCH_SEED, workers=None
         ),
         rounds=1,
         iterations=1,

@@ -4,6 +4,10 @@ Every benchmark regenerates one paper artifact (figure or table),
 prints it in the paper's row/series format, and writes the rendered
 text to ``benchmarks/output/`` so EXPERIMENTS.md can cite it.
 
+Sweeps are declared as :mod:`repro.exec` specs and executed through
+the process pool, so independent (policy, load) cells run concurrently
+and long runs report per-cell liveness instead of sitting silent.
+
 Scale knobs (environment variables):
 
 * ``REPRO_BENCH_QUERIES``           requests per (policy, load) cell
@@ -12,6 +16,16 @@ Scale knobs (environment variables):
                                      [default 6000]
 * ``REPRO_BENCH_CLUSTER_ISNS``      ISNs in the cluster run [default 40]
 * ``REPRO_BENCH_FAST=1``            shrink everything ~10x (CI smoke)
+* ``REPRO_BENCH_WORKERS``           process-pool size for sweeps and
+                                     per-ISN cluster runs
+                                     [default cpu_count - 1]
+* ``REPRO_EXEC_CACHE=1``            reuse cached cell results across
+                                     runs (``REPRO_EXEC_CACHE_DIR``
+                                     relocates the store)
+
+Memory note: each pool worker rebuilds and memoises the workload from
+its spec, so ``N`` workers hold ``N`` copies of the inverted index and
+query pools — cap ``REPRO_BENCH_WORKERS`` on memory-tight hosts.
 """
 
 from __future__ import annotations
@@ -23,6 +37,7 @@ from pathlib import Path
 import pytest
 
 from repro.config import PolicyConfig, ServerConfig
+from repro.exec import default_cache, log_progress
 from repro.experiments import (
     DEFAULT_FINANCE_TARGET_TABLE,
     DEFAULT_QPS_GRID,
@@ -62,6 +77,20 @@ def qps_grid() -> tuple[float, ...]:
     return DEFAULT_QPS_GRID
 
 
+def exec_kwargs() -> dict:
+    """Execution-layer knobs shared by every benchmark sweep.
+
+    Worker count resolution happens inside the pool (argument, then
+    ``REPRO_BENCH_WORKERS``, then cpu count); the result cache is
+    opt-in via ``REPRO_EXEC_CACHE=1``.
+    """
+    return {
+        "workers": None,
+        "cache": default_cache(),
+        "progress": log_progress,
+    }
+
+
 BENCH_SEED = 71
 
 
@@ -92,7 +121,8 @@ def finance_table():
 @lru_cache(maxsize=1)
 def _main_sweep_cached():
     """One shared sweep of the six single-ISN policies over the full
-    QPS grid; Figures 4, 5 and 6 all read from it."""
+    QPS grid; Figures 4, 5 and 6 all read from it.  The 6 x len(grid)
+    cells fan out across the exec process pool."""
     w = default_workload()
     return run_load_sweep(
         w,
@@ -101,6 +131,7 @@ def _main_sweep_cached():
         n_requests=bench_queries(),
         seed=BENCH_SEED,
         target_table=DEFAULT_SEARCH_TARGET_TABLE,
+        **exec_kwargs(),
     )
 
 

@@ -18,6 +18,8 @@ depends on (see DESIGN.md):
 * :mod:`repro.finance` — the Monte Carlo option-pricing server.
 * :mod:`repro.experiments` — the harness regenerating every figure
   and table of the evaluation.
+* :mod:`repro.exec` — the execution layer: declarative experiment
+  cells fanned out over a process pool with an on-disk result cache.
 
 Quickstart
 ----------
@@ -50,6 +52,13 @@ from .core import (
     select_degree,
 )
 from .errors import ReproError
+from .exec import (
+    CellSpec,
+    ResultCache,
+    SweepSpec,
+    WorkloadSpec,
+    run_sweep,
+)
 from .experiments import (
     default_target_table,
     default_workload,
@@ -89,6 +98,12 @@ __all__ = [
     "run_search_experiment",
     "run_load_sweep",
     "run_cluster_experiment",
+    # execution layer
+    "CellSpec",
+    "SweepSpec",
+    "WorkloadSpec",
+    "ResultCache",
+    "run_sweep",
     # policies
     "make_policy",
     "policy_names",

@@ -44,6 +44,9 @@ def build_target_table(
     measure_tail: Callable[[TargetTable], float],
     max_iterations: int = 200,
     max_target_ms: float = 1_000.0,
+    measure_tail_batch: (
+        Callable[[Sequence[TargetTable]], Sequence[float]] | None
+    ) = None,
 ) -> TableSearchResult:
     """Algorithm 1: greedy gradient-descent search for target values.
 
@@ -63,6 +66,13 @@ def build_target_table(
         ``E_max / delta``).
     max_target_ms:
         Targets are never bumped beyond this ceiling.
+    measure_tail_batch:
+        Optional batched form of ``measure_tail``: given the iteration's
+        candidate tables it returns their tail latencies, in order.  The
+        candidates within one greedy iteration are independent, so an
+        implementation backed by :mod:`repro.exec` can fan them out
+        across worker processes; the greedy selection (and therefore the
+        result) is bit-identical to the serial path.
 
     Returns
     -------
@@ -84,12 +94,21 @@ def build_target_table(
     for iteration in range(max_iterations):
         best_index = -1
         best_latency = current_latency
-        for i in range(m):
-            if table.targets[i] + step_ms > max_target_ms:
-                continue
-            candidate = table.bumped(i, step_ms)
-            latency = float(measure_tail(candidate))
-            measurements += 1
+        bumpable = [
+            i for i in range(m) if table.targets[i] + step_ms <= max_target_ms
+        ]
+        candidates = [table.bumped(i, step_ms) for i in bumpable]
+        if measure_tail_batch is not None and len(candidates) > 1:
+            latencies = [float(v) for v in measure_tail_batch(candidates)]
+            if len(latencies) != len(candidates):
+                raise TargetTableError(
+                    "measure_tail_batch returned "
+                    f"{len(latencies)} values for {len(candidates)} candidates"
+                )
+        else:
+            latencies = [float(measure_tail(c)) for c in candidates]
+        measurements += len(candidates)
+        for i, latency in zip(bumpable, latencies):
             if latency < best_latency - 1e-12:
                 best_latency = latency
                 best_index = i
@@ -123,6 +142,9 @@ def build_target_table_multistart(
     measure_tail: Callable[[TargetTable], float],
     max_iterations: int = 200,
     max_target_ms: float = 1_000.0,
+    measure_tail_batch: (
+        Callable[[Sequence[TargetTable]], Sequence[float]] | None
+    ) = None,
 ) -> TableSearchResult:
     """Algorithm 1 restarted from several flat initial levels.
 
@@ -141,7 +163,12 @@ def build_target_table_multistart(
     for level in initial_levels_ms:
         initial = TargetTable.uniform(load_grid, level)
         result = build_target_table(
-            initial, step_ms, measure_tail, max_iterations, max_target_ms
+            initial,
+            step_ms,
+            measure_tail,
+            max_iterations,
+            max_target_ms,
+            measure_tail_batch=measure_tail_batch,
         )
         total_measurements += result.measurements
         if best is None or result.tail_latency_ms < best.tail_latency_ms:

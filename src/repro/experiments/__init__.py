@@ -11,6 +11,7 @@ from .runner import (
     run_search_experiment,
     run_load_sweep,
     make_measure_tail,
+    make_measure_tail_batch,
     build_search_target_table,
 )
 from .scenarios import (
@@ -20,6 +21,7 @@ from .scenarios import (
     DEFAULT_FINANCE_TARGET_TABLE,
     FIGURE_POLICIES,
     default_workload,
+    default_workload_spec,
     default_target_table,
 )
 from .report import format_table, series_to_rows
@@ -29,6 +31,7 @@ __all__ = [
     "run_search_experiment",
     "run_load_sweep",
     "make_measure_tail",
+    "make_measure_tail_batch",
     "build_search_target_table",
     "DEFAULT_QPS_GRID",
     "DEFAULT_RPS_GRID_FINANCE",
@@ -36,6 +39,7 @@ __all__ = [
     "DEFAULT_FINANCE_TARGET_TABLE",
     "FIGURE_POLICIES",
     "default_workload",
+    "default_workload_spec",
     "default_target_table",
     "format_table",
     "series_to_rows",

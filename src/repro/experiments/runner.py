@@ -6,6 +6,13 @@ server under the chosen policy, and collect latency and degree
 statistics.  ``run_load_sweep`` produces the series behind Figures 4-7;
 ``make_measure_tail`` packages a predefined multi-load experiment as
 the MeasureTail procedure of Algorithm 1.
+
+Sweeps and MeasureTail route their independent cells through the
+:mod:`repro.exec` layer: cells are declared as specs, optionally fanned
+out across a process pool (``workers`` / ``REPRO_BENCH_WORKERS``) and
+optionally memoised on disk (``cache``).  Parallel execution is
+bit-identical to the serial path — every cell is deterministically
+seeded and simulated in isolation either way.
 """
 
 from __future__ import annotations
@@ -17,6 +24,9 @@ from ..config import PolicyConfig, ServerConfig, TargetTableConfig
 from ..core.table_builder import TableSearchResult, build_target_table
 from ..core.target_table import TargetTable
 from ..errors import ConfigError
+from ..exec.cache import ResultCache
+from ..exec.pool import ProgressEvent, run_sweep
+from ..exec.spec import CellSpec, SweepSpec, WorkloadSpec
 from ..policies.registry import make_policy
 from ..rng import RngFactory
 from ..search.workload import SearchWorkload
@@ -36,6 +46,7 @@ __all__ = [
     "run_search_experiment",
     "run_load_sweep",
     "make_measure_tail",
+    "make_measure_tail_batch",
     "build_search_target_table",
 ]
 
@@ -133,26 +144,70 @@ def run_load_sweep(
     n_requests: int,
     seed: int,
     target_table: TargetTable | None = None,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    progress: Callable[[ProgressEvent], None] | None = None,
     **kwargs,
 ) -> dict[str, list[ExperimentResult]]:
-    """All (policy, load) cells: ``{policy: [result per QPS]}``."""
-    results: dict[str, list[ExperimentResult]] = {}
-    for name in policy_names:
-        series = []
-        for qps in qps_grid:
-            series.append(
+    """All (policy, load) cells: ``{policy: [result per QPS]}``.
+
+    Independent cells are executed through :func:`repro.exec.run_sweep`
+    when the workload can be declared as a spec (it carries build
+    provenance and no in-memory overrides like ``speedup_book`` are in
+    play); otherwise the sweep falls back to an in-process serial loop.
+    Either path returns identical numbers.
+    """
+    wspec = (
+        WorkloadSpec.from_workload(workload)
+        if kwargs.get("speedup_book") is None
+        else None
+    )
+    if wspec is None:
+        results: dict[str, list[ExperimentResult]] = {}
+        for name in policy_names:
+            results[name] = [
                 run_search_experiment(
-                    workload,
-                    name,
-                    qps,
-                    n_requests,
-                    seed,
-                    target_table=target_table,
-                    **kwargs,
+                    workload, name, qps, n_requests, seed,
+                    target_table=target_table, **kwargs,
                 )
-            )
-        results[name] = series
+                for qps in qps_grid
+            ]
+        return results
+
+    kwargs.pop("speedup_book", None)
+    sweep = SweepSpec.grid(
+        wspec, policy_names, qps_grid, n_requests, seed,
+        target_table=target_table, **kwargs,
+    )
+    cell_results = run_sweep(sweep, workers=workers, cache=cache, progress=progress)
+    results = {}
+    per_policy = len(qps_grid)
+    for p, name in enumerate(policy_names):
+        series = cell_results[p * per_policy : (p + 1) * per_policy]
+        results[name] = [r.to_experiment_result() for r in series]
     return results
+
+
+def _measure_cells(
+    wspec: WorkloadSpec,
+    tables: Sequence[TargetTable],
+    table_config: TargetTableConfig,
+    seed: int,
+    count: int,
+    server_config: ServerConfig | None,
+    load_metric: LoadMetric,
+) -> list[CellSpec]:
+    """The (candidate table x measure load) cells of MeasureTail."""
+    return [
+        CellSpec.for_experiment(
+            wspec, "TPC", qps, count, seed,
+            target_table=table,
+            server_config=server_config,
+            load_metric=load_metric,
+        )
+        for table in tables
+        for qps in table_config.measure_loads_qps
+    ]
 
 
 def make_measure_tail(
@@ -162,53 +217,118 @@ def make_measure_tail(
     n_requests: int | None = None,
     server_config: ServerConfig | None = None,
     load_metric: LoadMetric = LoadMetric.LONG_THREADS,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> Callable[[TargetTable], float]:
     """The MeasureTail procedure of Algorithm 1.
 
     Returns a callable that runs the predefined experiment — TPC over
     every load in ``table_config.measure_loads_qps`` — with a candidate
     table and returns the weighted sum of the per-load tail latencies.
+    The per-load runs route through :mod:`repro.exec`, so a result
+    cache makes repeated evaluations of the same candidate table free.
+    """
+    measure_batch = make_measure_tail_batch(
+        workload, table_config, seed,
+        n_requests=n_requests,
+        server_config=server_config,
+        load_metric=load_metric,
+        workers=workers,
+        cache=cache,
+    )
+
+    def measure(table: TargetTable) -> float:
+        return measure_batch([table])[0]
+
+    return measure
+
+
+def make_measure_tail_batch(
+    workload: SearchWorkload,
+    table_config: TargetTableConfig,
+    seed: int,
+    n_requests: int | None = None,
+    server_config: ServerConfig | None = None,
+    load_metric: LoadMetric = LoadMetric.LONG_THREADS,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> Callable[[Sequence[TargetTable]], list[float]]:
+    """Batched MeasureTail: evaluate several candidate tables at once.
+
+    The greedy search of Algorithm 1 measures every single-entry bump of
+    the current table per iteration; those candidates are independent,
+    so evaluating them as one sweep lets the process pool run
+    ``len(tables) * len(measure_loads_qps)`` simulations concurrently.
     """
     count = (
         n_requests
         if n_requests is not None
         else table_config.queries_per_measurement
     )
+    wspec = WorkloadSpec.from_workload(workload)
+    loads = len(table_config.measure_loads_qps)
 
-    def measure(table: TargetTable) -> float:
-        samples = []
-        for qps in table_config.measure_loads_qps:
-            result = run_search_experiment(
-                workload,
-                "TPC",
-                qps,
-                count,
-                seed,
-                target_table=table,
-                server_config=server_config,
-                load_metric=load_metric,
+    def measure_batch(tables: Sequence[TargetTable]) -> list[float]:
+        if wspec is None:
+            # No rebuildable spec: run in-process, serially.
+            samples_per_table = [
+                [
+                    run_search_experiment(
+                        workload, "TPC", qps, count, seed,
+                        target_table=table,
+                        server_config=server_config,
+                        load_metric=load_metric,
+                    ).recorder.responses
+                    for qps in table_config.measure_loads_qps
+                ]
+                for table in tables
+            ]
+        else:
+            cells = _measure_cells(
+                wspec, tables, table_config, seed, count,
+                server_config, load_metric,
             )
-            samples.append(result.recorder.responses)
-        return weighted_tail_latency(
-            samples, table_config.measure_weights, table_config.percentile
-        )
+            results = run_sweep(cells, workers=workers, cache=cache)
+            samples_per_table = [
+                [r.responses_ms for r in results[t * loads : (t + 1) * loads]]
+                for t in range(len(tables))
+            ]
+        return [
+            weighted_tail_latency(
+                samples, table_config.measure_weights, table_config.percentile
+            )
+            for samples in samples_per_table
+        ]
 
-    return measure
+    return measure_batch
 
 
 def build_search_target_table(
     workload: SearchWorkload,
     table_config: TargetTableConfig | None = None,
     seed: int = 1234,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
     **measure_kwargs,
 ) -> TableSearchResult:
-    """Run Algorithm 1 end-to-end for a search workload."""
+    """Run Algorithm 1 end-to-end for a search workload.
+
+    The candidate measurements of each greedy iteration fan out across
+    the :mod:`repro.exec` process pool; the accepted table, iteration
+    trace and measurement count are bit-identical to a serial search.
+    """
     cfg = table_config if table_config is not None else TargetTableConfig()
     initial = TargetTable.uniform(cfg.load_grid, cfg.initial_target_ms)
-    measure = make_measure_tail(workload, cfg, seed, **measure_kwargs)
+    measure = make_measure_tail(
+        workload, cfg, seed, workers=workers, cache=cache, **measure_kwargs
+    )
+    measure_batch = make_measure_tail_batch(
+        workload, cfg, seed, workers=workers, cache=cache, **measure_kwargs
+    )
     return build_target_table(
         initial,
         cfg.step_ms,
         measure,
         max_iterations=cfg.max_iterations,
+        measure_tail_batch=measure_batch,
     )

@@ -12,6 +12,7 @@ from functools import lru_cache
 
 from ..config import PredictorConfig, SearchWorkloadConfig, TargetTableConfig
 from ..core.target_table import TargetTable
+from ..exec.spec import WorkloadSpec
 from ..search.workload import SearchWorkload, build_search_workload
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "DEFAULT_FINANCE_TARGET_TABLE",
     "DEFAULT_RPS_GRID_FINANCE",
     "default_workload",
+    "default_workload_spec",
     "default_target_table",
 ]
 
@@ -80,8 +82,33 @@ DEFAULT_FINANCE_TARGET_TABLE = TargetTable(
 def default_workload(
     seed: int = DEFAULT_SEED, pool_size: int = 12_000
 ) -> SearchWorkload:
-    """The canonical calibrated search workload (cached per process)."""
+    """The canonical calibrated search workload.
+
+    The ``lru_cache`` is **per process**: exec-pool workers never see
+    the parent's cached instance and instead rebuild the workload from
+    :func:`default_workload_spec` (or the provenance carried by the
+    built workload) on first use.  Each of ``N`` worker processes
+    therefore holds its own copy of the inverted index and query pools
+    — budget roughly one workload's memory footprint per worker.
+    """
     return build_search_workload(
+        seed=seed,
+        config=SearchWorkloadConfig(),
+        predictor_config=PredictorConfig(),
+        pool_size=pool_size,
+    )
+
+
+def default_workload_spec(
+    seed: int = DEFAULT_SEED, pool_size: int = 12_000
+) -> WorkloadSpec:
+    """Declarative recipe for :func:`default_workload`.
+
+    Hand this to :mod:`repro.exec` instead of a built workload when
+    declaring sweeps directly; workers rebuild (and memoise) the
+    workload locally from the recipe.
+    """
+    return WorkloadSpec.search(
         seed=seed,
         config=SearchWorkloadConfig(),
         predictor_config=PredictorConfig(),

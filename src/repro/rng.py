@@ -53,8 +53,20 @@ class RngFactory:
         return np.random.Generator(np.random.PCG64(seq))
 
     def spawn(self, name: str) -> "RngFactory":
-        """Derive a child factory, e.g. one per ISN in a cluster."""
-        return RngFactory(_stable_hash(name) ^ self._root_seed)
+        """Derive a child factory, e.g. one per ISN in a cluster.
+
+        The child seed is drawn from ``SeedSequence([root_seed,
+        hash(name)])`` rather than the XOR of the two values: XOR is
+        collision-prone (``root ^ h(a) == h(b) ^ root`` whenever two
+        name hashes collide in any bit pattern symmetric around the
+        root), whereas a seed sequence mixes both words through
+        splitmix-style avalanching.
+        """
+        if not name:
+            raise ValueError("spawn name must be non-empty")
+        seq = np.random.SeedSequence([self._root_seed, _stable_hash(name)])
+        child_seed = int(seq.generate_state(1, np.uint64)[0]) & 0x7FFFFFFFFFFFFFFF
+        return RngFactory(child_seed)
 
 
 def stream(root_seed: int, name: str) -> np.random.Generator:

@@ -46,7 +46,25 @@ from .index import InvertedIndex
 from .parallel import ParallelExecutionModel, fit_parallel_model
 from .query import QueryGenerator
 
-__all__ = ["SearchWorkload", "build_search_workload"]
+__all__ = ["SearchWorkload", "WorkloadProvenance", "build_search_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadProvenance:
+    """The build inputs a finished workload was assembled from.
+
+    Together with ``SearchWorkload.config`` this is enough to rebuild
+    the workload bit-identically in another process — the contract the
+    :mod:`repro.exec` layer relies on to ship *recipes* to pool workers
+    instead of pickling live indexes.
+    """
+
+    seed: int
+    pool_size: int
+    max_degree: int
+    group_bounds_ms: tuple[float, ...] | None
+    predictor_config: PredictorConfig
+    use_cache: bool
 
 
 @dataclass
@@ -64,6 +82,9 @@ class SearchWorkload:
     pool_demands_ms: np.ndarray
     pool_predictions_ms: np.ndarray
     pool_profiles: list[SpeedupProfile]
+    #: How this workload was built (None for hand-assembled instances);
+    #: lets ``repro.exec`` rebuild it inside worker processes.
+    provenance: WorkloadProvenance | None = None
 
     @property
     def pool_size(self) -> int:
@@ -183,6 +204,14 @@ def build_search_workload(
         pool_demands_ms=demands[evaluate],
         pool_predictions_ms=predictions,
         pool_profiles=[profiles[i] for i in evaluate],
+        provenance=WorkloadProvenance(
+            seed=seed,
+            pool_size=pool_size,
+            max_degree=max_degree,
+            group_bounds_ms=group_bounds_ms,
+            predictor_config=pcfg,
+            use_cache=use_cache,
+        ),
     )
 
 

@@ -74,6 +74,33 @@ class TestClusterConsistency:
         spread = lat.max(axis=1) - lat.min(axis=1)
         assert np.median(spread) < 1e-6
 
+    def test_parallel_matches_serial_bit_for_bit(
+        self, tiny_search_workload, target_table
+    ):
+        # The decomposed per-ISN fan-out (workers > 1) must reproduce
+        # the shared-engine run exactly: same aggregator latencies,
+        # same per-replica latencies, same per-ISN recorders.
+        kwargs = dict(
+            qps=200.0, n_queries=150, seed=23,
+            cluster_config=ClusterConfig(num_isns=3),
+            target_table=target_table,
+        )
+        serial = run_cluster_experiment(
+            tiny_search_workload, "TPC", workers=1, **kwargs
+        )
+        parallel = run_cluster_experiment(
+            tiny_search_workload, "TPC", workers=2, **kwargs
+        )
+        np.testing.assert_array_equal(
+            serial.aggregator_latencies_ms, parallel.aggregator_latencies_ms
+        )
+        np.testing.assert_array_equal(
+            serial.isn_latencies_ms, parallel.isn_latencies_ms
+        )
+        for a, b in zip(serial.isn_recorders, parallel.isn_recorders):
+            np.testing.assert_array_equal(a.responses_ms, b.responses_ms)
+            np.testing.assert_array_equal(a.max_degrees, b.max_degrees)
+
     def test_same_seed_reproducible(self, tiny_search_workload, target_table):
         kwargs = dict(
             qps=150.0, n_queries=200, seed=77,
