@@ -13,6 +13,7 @@ from .cache import ResultCache, default_cache
 from .pool import (
     ProgressEvent,
     log_progress,
+    memoised_workload,
     resolve_worker_count,
     run_cell,
     run_sweep,
@@ -30,6 +31,7 @@ __all__ = [
     "default_cache",
     "ProgressEvent",
     "log_progress",
+    "memoised_workload",
     "resolve_worker_count",
     "run_cell",
     "run_sweep",

@@ -34,6 +34,7 @@ from .spec import CellResult, CellSpec, SweepSpec, WorkloadSpec
 
 __all__ = [
     "ProgressEvent",
+    "memoised_workload",
     "resolve_worker_count",
     "run_cell",
     "run_sweep",
@@ -88,8 +89,13 @@ def resolve_worker_count(workers: int | None = None) -> int:
     return workers
 
 
-def _memoised_workload(spec: WorkloadSpec) -> Any:
-    """Build (or reuse) the workload a spec describes, in this process."""
+def memoised_workload(spec: WorkloadSpec) -> Any:
+    """Build (or reuse) the workload a spec describes, in this process.
+
+    Public so non-cell callers (e.g. the gate's cluster check) can
+    share the copy that inline cell execution already built instead of
+    paying a second multi-second workload build.
+    """
     workload = _WORKLOAD_MEMO.get(spec)
     if workload is None:
         workload = spec.build()
@@ -104,7 +110,7 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     from ..experiments.runner import run_search_experiment
 
     started = time.perf_counter()
-    workload = _memoised_workload(spec.workload)
+    workload = memoised_workload(spec.workload)
     result = run_search_experiment(
         workload,
         spec.policy_name,

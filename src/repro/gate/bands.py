@@ -1,0 +1,198 @@
+"""Tolerance bands and measurements: the gate's unit of judgement.
+
+A :class:`Band` bounds one scalar metric, with absolute bounds
+(``lo``/``hi``, from the paper's reported statistics) and/or
+baseline-relative bounds (``rel_lo``/``rel_hi``, multiples of a
+blessed measurement stored under ``benchmarks/baselines/``).  A
+:class:`Measurement` pairs a metric id with its measured value and
+band; :func:`evaluate_measurement` resolves the effective bounds
+against the baseline and produces the pass/fail verdict the report
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "Band",
+    "Measurement",
+    "EvaluatedMeasurement",
+    "evaluate_measurement",
+]
+
+
+@dataclass(frozen=True)
+class Band:
+    """Acceptance bounds for one metric.
+
+    ``lo``/``hi`` are absolute bounds.  ``rel_lo``/``rel_hi`` are
+    multiples of the stored baseline value; when both an absolute and
+    a relative bound exist on the same side, the *tighter* effective
+    bound wins.  Relative bounds are skipped (with a note) when no
+    baseline exists — a fresh clone degrades to paper-absolute
+    checking instead of failing.
+    """
+
+    lo: float | None = None
+    hi: float | None = None
+    rel_lo: float | None = None
+    rel_hi: float | None = None
+    unit: str = "ms"
+
+    def __post_init__(self) -> None:
+        if all(
+            b is None for b in (self.lo, self.hi, self.rel_lo, self.rel_hi)
+        ):
+            raise ValueError("a band needs at least one bound")
+
+    def bounds(
+        self, baseline: float | None
+    ) -> tuple[float | None, float | None]:
+        """Effective ``(lo, hi)`` once the baseline is folded in."""
+        lo, hi = self.lo, self.hi
+        if baseline is not None:
+            if self.rel_lo is not None:
+                rlo = baseline * self.rel_lo
+                lo = rlo if lo is None else max(lo, rlo)
+            if self.rel_hi is not None:
+                rhi = baseline * self.rel_hi
+                hi = rhi if hi is None else min(hi, rhi)
+        return lo, hi
+
+    def describe(self, baseline: float | None) -> str:
+        """Human-readable rendering of the effective bounds."""
+        lo, hi = self.bounds(baseline)
+        left = f"{lo:g}" if lo is not None else "-inf"
+        right = f"{hi:g}" if hi is not None else "+inf"
+        return f"[{left}, {right}] {self.unit}".rstrip()
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured metric, its band, and its provenance.
+
+    ``band=None`` marks an informational measurement: recorded in the
+    report but never judged.  ``baseline_key=True`` opts the metric
+    into ``--update-baselines``: its measured value becomes the stored
+    baseline other runs compare against.
+    """
+
+    metric: str
+    value: float
+    band: Band | None
+    paper_ref: str = ""
+    baseline_key: bool = False
+
+
+@dataclass(frozen=True)
+class EvaluatedMeasurement:
+    """A measurement judged against its effective bounds."""
+
+    metric: str
+    value: float
+    passed: bool
+    lo: float | None
+    hi: float | None
+    unit: str
+    baseline: float | None
+    paper_ref: str
+    informational: bool
+    perturbed: bool
+    baseline_key: bool = False
+    note: str = ""
+
+    def describe(self) -> str:
+        """One summary line: value vs band, flagged on violation."""
+        if self.informational:
+            return f"{self.metric} = {self.value:g} {self.unit} (recorded)"
+        left = f"{self.lo:g}" if self.lo is not None else "-inf"
+        right = f"{self.hi:g}" if self.hi is not None else "+inf"
+        verdict = "ok" if self.passed else "VIOLATED"
+        tags = []
+        if self.perturbed:
+            tags.append("perturbed")
+        if self.note:
+            tags.append(self.note)
+        suffix = f" ({'; '.join(tags)})" if tags else ""
+        ref = f" [{self.paper_ref}]" if self.paper_ref else ""
+        return (
+            f"{self.metric} = {self.value:g} vs band [{left}, {right}] "
+            f"{self.unit}: {verdict}{ref}{suffix}"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering for ``BENCH_gate.json``."""
+        return {
+            "metric": self.metric,
+            "value": self.value,
+            "passed": self.passed,
+            "lo": self.lo,
+            "hi": self.hi,
+            "unit": self.unit,
+            "baseline": self.baseline,
+            "paper_ref": self.paper_ref,
+            "informational": self.informational,
+            "perturbed": self.perturbed,
+            "baseline_key": self.baseline_key,
+            "note": self.note,
+        }
+
+
+def evaluate_measurement(
+    measurement: Measurement,
+    baselines: Mapping[str, float] | None = None,
+    perturb: Mapping[str, float] | None = None,
+) -> EvaluatedMeasurement:
+    """Judge one measurement: resolve bounds, apply perturbation, verdict.
+
+    ``perturb`` maps metric ids to multiplicative factors applied to the
+    measured value *before* band evaluation — the gate's self-test hook
+    (a +30 % perturbation on a fidelity metric must fail exactly its
+    check; see ``--perturb``).
+    """
+    # Coerce up front: measured values often arrive as numpy scalars,
+    # which would otherwise poison the JSON report (np.bool_ verdicts).
+    value = float(measurement.value)
+    perturbed = False
+    if perturb and measurement.metric in perturb:
+        value *= float(perturb[measurement.metric])
+        perturbed = True
+    if measurement.band is None:
+        return EvaluatedMeasurement(
+            metric=measurement.metric,
+            value=value,
+            passed=True,
+            lo=None,
+            hi=None,
+            unit="",
+            baseline=None,
+            paper_ref=measurement.paper_ref,
+            informational=True,
+            perturbed=perturbed,
+            baseline_key=measurement.baseline_key,
+        )
+    band = measurement.band
+    baseline = baselines.get(measurement.metric) if baselines else None
+    note = ""
+    if baseline is None and (band.rel_lo is not None or band.rel_hi is not None):
+        note = "no baseline; relative bounds skipped"
+    lo, hi = band.bounds(baseline)
+    passed = bool(
+        (lo is None or value >= lo) and (hi is None or value <= hi)
+    )
+    return EvaluatedMeasurement(
+        metric=measurement.metric,
+        value=value,
+        passed=passed,
+        lo=lo,
+        hi=hi,
+        unit=band.unit,
+        baseline=baseline,
+        paper_ref=measurement.paper_ref,
+        informational=False,
+        perturbed=perturbed,
+        baseline_key=measurement.baseline_key,
+        note=note,
+    )

@@ -1,0 +1,121 @@
+"""Stored gate baselines: blessed measurements for relative bands.
+
+Machine-relative bands (e.g. "TPC p99 within 25 % of the blessed
+run", "hot-path throughput at least a quarter of the blessed run")
+need a reference value.  Those references live in one JSON file under
+``benchmarks/baselines/``, keyed by gate mode and metric id, and are
+refreshed with ``python -m repro.gate --update-baselines`` after an
+intentional change to the simulation or its calibration.
+
+Serialisation is canonical — sorted keys, fixed indentation, trailing
+newline — so a write → load → write round trip is bit-stable and
+baseline diffs in review show only genuinely changed values.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from ..errors import ConfigError
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "default_baselines_path",
+    "load_baselines",
+    "save_baselines",
+    "merge_baselines",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Filename of the single baseline store.
+BASELINE_FILENAME = "gate_baseline.json"
+
+
+def default_baselines_path() -> Path:
+    """``benchmarks/baselines/gate_baseline.json`` in a source checkout.
+
+    Resolved relative to this file (``src/repro/gate`` → repo root);
+    for a non-editable install without the benchmarks tree, callers
+    get a path that does not exist and degrade to absolute bands.
+    """
+    return (
+        Path(__file__).resolve().parents[3]
+        / "benchmarks"
+        / "baselines"
+        / BASELINE_FILENAME
+    )
+
+
+def _canonical_bytes(payload: dict) -> bytes:
+    """The one true serialisation of a baseline document."""
+    return (
+        json.dumps(payload, sort_keys=True, indent=2, separators=(",", ": "))
+        + "\n"
+    ).encode("utf-8")
+
+
+def load_baselines(
+    path: str | Path | None = None, mode: str | None = None
+) -> dict:
+    """Load the baseline document (or one mode's metric map).
+
+    Returns ``{}`` when the file is absent — a fresh clone runs with
+    paper-absolute bands only.  With ``mode`` given, returns just that
+    mode's ``{metric: value}`` mapping.
+    """
+    target = Path(path) if path is not None else default_baselines_path()
+    if not target.is_file():
+        return {}
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"unreadable baseline file {target}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ConfigError(f"baseline file {target} is not a JSON object")
+    if document.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise ConfigError(
+            f"baseline file {target} has schema "
+            f"{document.get('schema_version')!r}, "
+            f"expected {BASELINE_SCHEMA_VERSION}"
+        )
+    if mode is None:
+        return document
+    modes = document.get("modes", {})
+    metrics = modes.get(mode, {})
+    if not isinstance(metrics, dict):
+        raise ConfigError(f"baseline mode {mode!r} is not a JSON object")
+    return {str(k): float(v) for k, v in metrics.items()}
+
+
+def save_baselines(document: dict, path: str | Path | None = None) -> Path:
+    """Write a baseline document canonically; returns the path."""
+    target = Path(path) if path is not None else default_baselines_path()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_bytes(_canonical_bytes(document))
+    return target
+
+
+def merge_baselines(
+    document: dict,
+    mode: str,
+    metrics: Mapping[str, float],
+    git_sha: str = "unknown",
+) -> dict:
+    """Fold freshly measured values for one mode into the document.
+
+    Other modes' entries are preserved, so fast and full baselines can
+    be refreshed independently.
+    """
+    modes = {
+        str(name): dict(values)
+        for name, values in document.get("modes", {}).items()
+    }
+    modes[mode] = {str(k): round(float(v), 6) for k, v in metrics.items()}
+    return {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "updated_from_git_sha": git_sha,
+        "modes": modes,
+    }

@@ -22,10 +22,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "LatencyRecorder",
     "LatencySummary",
+    "DistributionStats",
     "percentile",
     "cdf_points",
     "weighted_tail_latency",
     "degree_distribution",
+    "distribution_stats",
 ]
 
 
@@ -91,6 +93,66 @@ class LatencySummary:
             "p999_ms": self.p999_ms,
             "max_ms": self.max_ms,
         }
+
+
+@dataclass(frozen=True)
+class DistributionStats:
+    """Shape statistics of a millisecond sample in the paper's terms.
+
+    Section 2 characterises the production demand distribution by its
+    mean, median, tail percentile and the fractions of short (<15 ms)
+    and long (>80 ms) queries; the fidelity gate re-derives the same
+    statistics from simulated samples and checks them against bands.
+    """
+
+    count: int
+    mean_ms: float
+    median_ms: float
+    p99_ms: float
+    short_fraction: float
+    long_fraction: float
+
+    @property
+    def p99_over_mean(self) -> float:
+        """Tail heaviness: how far the 99th percentile sits above the mean."""
+        return self.p99_ms / self.mean_ms
+
+    @property
+    def p99_over_median(self) -> float:
+        """Tail heaviness relative to the median (paper: ~56x)."""
+        return self.p99_ms / self.median_ms
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for tabular reports and JSON export."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "median_ms": self.median_ms,
+            "p99_ms": self.p99_ms,
+            "short_fraction": self.short_fraction,
+            "long_fraction": self.long_fraction,
+            "p99/mean": self.p99_over_mean,
+            "p99/median": self.p99_over_median,
+        }
+
+
+def distribution_stats(
+    values_ms: Sequence[float] | np.ndarray,
+    short_threshold_ms: float = 15.0,
+    long_threshold_ms: float = 80.0,
+) -> DistributionStats:
+    """Compute :class:`DistributionStats` for a millisecond sample."""
+    arr = np.asarray(values_ms, dtype=np.float64)
+    if arr.size == 0:
+        raise SimulationError("cannot summarise an empty sample")
+    return DistributionStats(
+        count=int(arr.size),
+        mean_ms=float(arr.mean()),
+        median_ms=float(np.median(arr)),
+        p99_ms=percentile(arr, 99),
+        short_fraction=float((arr < short_threshold_ms).mean()),
+        long_fraction=float((arr > long_threshold_ms).mean()),
+    )
 
 
 @dataclass
