@@ -20,6 +20,9 @@ depends on (see DESIGN.md):
   and table of the evaluation.
 * :mod:`repro.exec` — the execution layer: declarative experiment
   cells fanned out over a process pool with an on-disk result cache.
+* :mod:`repro.resilience` — fault injection (stragglers, degraded
+  cores, blackouts), request hedging and wait-for-k aggregation for
+  the cluster layer.
 
 Quickstart
 ----------
@@ -69,6 +72,7 @@ from .policies import make_policy, policy_names
 from .search import build_search_workload
 from .finance import build_finance_workload
 from .cluster import run_cluster_experiment
+from .resilience import FaultSpec, HedgePolicy, run_scenario
 from .sim import Engine, LatencyRecorder, Request, Server
 
 __all__ = [
@@ -98,6 +102,10 @@ __all__ = [
     "run_search_experiment",
     "run_load_sweep",
     "run_cluster_experiment",
+    # resilience
+    "FaultSpec",
+    "HedgePolicy",
+    "run_scenario",
     # execution layer
     "CellSpec",
     "SweepSpec",

@@ -20,7 +20,7 @@ reassembled result is bit-identical to the shared-engine path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -39,6 +39,10 @@ from ..sim.metrics import LatencyRecorder, percentile
 from ..sim.request import Request
 from ..sim.server import Server
 from .aggregator import Aggregator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.faults import FaultSpec
+    from ..resilience.hedging import HedgePolicy
 
 __all__ = ["ClusterExperimentResult", "run_cluster_experiment"]
 
@@ -168,6 +172,8 @@ def run_cluster_experiment(
     prediction: str = "model",
     workers: int | None = 1,
     progress: Callable[[int, int], None] | None = None,
+    fault_spec: "FaultSpec | None" = None,
+    hedge_policy: "HedgePolicy | None" = None,
 ) -> ClusterExperimentResult:
     """Run one policy on a full partition-aggregate cluster.
 
@@ -178,6 +184,16 @@ def run_cluster_experiment(
     processes the per-ISN simulations fan out over; results are
     bit-identical at any worker count.  ``progress`` receives
     ``(isns_completed, num_isns)`` in parallel mode.
+
+    ``fault_spec`` injects per-ISN fault windows and ``hedge_policy``
+    enables partial-wait aggregation and hedged re-issue (see
+    :mod:`repro.resilience`).  Either option couples the ISNs (hedges
+    move work between nodes, faults are wall-clock windows on the
+    shared clock), so the run then uses the shared-engine path
+    regardless of ``workers`` and returns a
+    :class:`~repro.resilience.cluster.ResilientClusterResult`.  With
+    both left at their no-op defaults this function behaves exactly as
+    before.
     """
     if n_queries < 1:
         raise ConfigError("n_queries must be >= 1")
@@ -203,6 +219,19 @@ def run_cluster_experiment(
         for _ in range(n_queries)
     ]
 
+    resilient = (fault_spec is not None and not fault_spec.is_noop) or (
+        hedge_policy is not None and not hedge_policy.is_noop(ccfg.num_isns)
+    )
+    if resilient:
+        from ..resilience.cluster import run_shared_resilient
+
+        return run_shared_resilient(
+            workload, policy_name, qps,
+            ccfg, scfg, policy_config, target_table, load_metric,
+            logical, arrivals, jitters,
+            fault_spec=fault_spec, hedge_policy=hedge_policy,
+        )
+
     effective_workers = resolve_worker_count(workers)
     if effective_workers > 1 and ccfg.num_isns > 1:
         return _run_decomposed(
@@ -214,9 +243,6 @@ def run_cluster_experiment(
     engine = Engine()
     aggregator = Aggregator(ccfg.num_isns, ccfg.network_overhead_ms)
 
-    def on_isn_complete(request: Request) -> None:
-        aggregator.on_isn_complete(request.rid, engine.now)
-
     servers: list[Server] = []
     for isn in range(ccfg.num_isns):
         policy = make_policy(
@@ -227,6 +253,10 @@ def run_cluster_experiment(
             policy_config=policy_config,
             load_metric=load_metric,
         )
+
+        def on_isn_complete(request: Request, isn: int = isn) -> None:
+            aggregator.on_isn_complete(request.rid, engine.now, isn)
+
         servers.append(
             Server(
                 scfg,

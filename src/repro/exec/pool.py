@@ -109,6 +109,11 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     """Expand and simulate one cell (runs in worker or caller process)."""
     from ..experiments.runner import run_search_experiment
 
+    if spec.cluster_config is not None:
+        from ..resilience.runner import execute_cluster_cell
+
+        return execute_cluster_cell(spec)
+
     started = time.perf_counter()
     workload = memoised_workload(spec.workload)
     result = run_search_experiment(

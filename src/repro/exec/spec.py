@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 import numpy as np
 
 from ..config import (
+    ClusterConfig,
     FinanceConfig,
     PolicyConfig,
     PredictorConfig,
@@ -42,6 +43,8 @@ from ..sim.metrics import LatencyRecorder, LatencySummary
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..experiments.runner import ExperimentResult
+    from ..resilience.faults import FaultSpec
+    from ..resilience.hedging import HedgePolicy
 
 __all__ = [
     "WorkloadSpec",
@@ -53,7 +56,8 @@ __all__ = [
 
 #: Bump to invalidate every cached result when the result format or the
 #: simulation semantics change incompatibly.
-SPEC_SCHEMA_VERSION = 1
+#: v2: cluster/resilience cell fields on CellSpec, extras on CellResult.
+SPEC_SCHEMA_VERSION = 2
 
 
 def _canonical(obj: Any) -> Any:
@@ -226,12 +230,26 @@ class CellSpec:
     prediction: str = "model"
     oracle_sigma: float = 0.0
     rampup_interval_ms: float | None = None
+    #: Non-None turns the cell into a cluster run (N ISNs behind an
+    #: aggregator) instead of a single-server experiment.
+    cluster_config: ClusterConfig | None = None
+    #: Resilience options (cluster cells only); both are frozen plain
+    #: data, so they participate in the content hash like every knob.
+    fault_spec: "FaultSpec | None" = None
+    hedge_policy: "HedgePolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
             raise ConfigError("n_requests must be >= 1")
         if self.qps <= 0:
             raise ConfigError("qps must be > 0")
+        if self.cluster_config is None and (
+            self.fault_spec is not None or self.hedge_policy is not None
+        ):
+            raise ConfigError(
+                "fault_spec / hedge_policy require a cluster cell "
+                "(set cluster_config)"
+            )
 
     @classmethod
     def for_experiment(
@@ -337,6 +355,9 @@ class CellResult:
     corrected: np.ndarray
     #: Wall-clock seconds the simulation took (0.0 on a cache hit).
     wall_time_s: float = 0.0
+    #: Auxiliary scalar metrics (cluster cells: resilience accounting,
+    #: per-ISN percentiles).  Empty for single-server cells.
+    extras: dict[str, float] = dataclasses.field(default_factory=dict)
 
     @classmethod
     def from_recorder(

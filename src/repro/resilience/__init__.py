@@ -1,0 +1,45 @@
+"""Fault injection, request hedging, and partial-wait aggregation.
+
+The resilience subsystem layers two opt-in mechanisms on the cluster
+simulation of :mod:`repro.cluster`:
+
+* :class:`FaultSpec` — deterministic per-ISN fault windows (transient
+  slowdowns, degraded worker pools, crash blackouts), frozen plain
+  data that participates in ``repro.exec`` content hashes;
+* :class:`HedgePolicy` — aggregator-side mitigations: wait-for-k-of-n
+  partial aggregation, timeout-triggered hedged re-issue of lagging
+  replicas, and tied-request cancellation.
+
+Both default to exact no-ops, and :func:`repro.cluster.run_cluster_experiment`
+only takes the coupled shared-engine path when at least one is active,
+so plain cluster runs are bit-identical to a build without this
+package.  ``python -m repro.resilience`` runs named fault scenarios
+comparing the paper's policies and writes a ``BENCH_resilience.json``
+report.
+"""
+
+from .faults import FaultKind, FaultSpec, FaultWindow, sample_fault_spec
+from .hedging import HedgePolicy
+from .cluster import ResilientClusterResult, run_shared_resilient
+from .scenarios import (
+    Scenario,
+    ScenarioResult,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultWindow",
+    "sample_fault_spec",
+    "HedgePolicy",
+    "ResilientClusterResult",
+    "run_shared_resilient",
+    "Scenario",
+    "ScenarioResult",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+]

@@ -11,7 +11,12 @@ from .engine import Engine, EventHandle
 from .request import Request, RequestState
 from .server import Server
 from .client import OpenLoopClient, replay_trace
-from .metrics import LatencyRecorder, percentile, weighted_tail_latency
+from .metrics import (
+    LatencyRecorder,
+    ResilienceStats,
+    percentile,
+    weighted_tail_latency,
+)
 from .load import LoadMetric, load_value
 from .tracing import RequestTracer, attach_tracer
 
@@ -28,6 +33,7 @@ __all__ = [
     "OpenLoopClient",
     "replay_trace",
     "LatencyRecorder",
+    "ResilienceStats",
     "percentile",
     "weighted_tail_latency",
 ]

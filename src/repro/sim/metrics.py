@@ -23,6 +23,7 @@ __all__ = [
     "LatencyRecorder",
     "LatencySummary",
     "DistributionStats",
+    "ResilienceStats",
     "percentile",
     "cdf_points",
     "weighted_tail_latency",
@@ -153,6 +154,86 @@ def distribution_stats(
         short_fraction=float((arr < short_threshold_ms).mean()),
         long_fraction=float((arr > long_threshold_ms).mean()),
     )
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Mitigation bookkeeping of one resilient cluster run.
+
+    Quantifies the cost/benefit trade-off of request hedging and
+    partial-wait aggregation (cf. Poloczek & Ciucu; Wang, Joshi &
+    Wornell): how often the hedge timer fired, how many hedges were
+    issued and won, and how much replica work was thrown away by
+    tied-request cancellation, blackout kills, and redundant
+    completions.
+    """
+
+    #: Logical queries aggregated.
+    queries: int
+    num_isns: int
+    #: Hedge replicas issued across all queries.
+    hedges_issued: int
+    #: Queries that issued at least one hedge.
+    hedged_queries: int
+    #: Hedges that completed before the primary replica they backed up.
+    hedge_wins: int
+    #: Hedge timers that fired on a still-incomplete query.
+    timeout_fires: int
+    #: Replicas withdrawn mid-flight (ties and blackout kills).
+    cancelled_replicas: int
+    #: Replicas never issued because the target ISN was blacked out.
+    dropped_replicas: int
+    #: Completions of a shard whose result was already delivered by the
+    #: other member of a hedge pair (tie cancellation disabled).
+    redundant_completions: int
+    #: Replica completions arriving after the aggregator had already
+    #: answered the query (wait-for-k < n only).
+    late_completions: int
+    #: Work (ms of sequential demand) executed by cancelled or
+    #: redundant replicas — pure overhead of the mitigation.
+    wasted_work_ms: float
+    #: Work executed by replicas whose result reached the aggregator.
+    useful_work_ms: float
+    #: Mean over queries of (replica completions seen when the
+    #: aggregator answered) / num_isns; 1.0 under wait-for-all.
+    k_coverage_mean: float
+
+    @property
+    def hedge_rate(self) -> float:
+        """Fraction of queries that issued at least one hedge."""
+        return self.hedged_queries / self.queries if self.queries else 0.0
+
+    @property
+    def timeout_rate(self) -> float:
+        """Fraction of queries whose hedge timer fired."""
+        return self.timeout_fires / self.queries if self.queries else 0.0
+
+    @property
+    def wasted_work_fraction(self) -> float:
+        """Wasted work as a fraction of all work executed."""
+        total = self.wasted_work_ms + self.useful_work_ms
+        return self.wasted_work_ms / total if total > 0 else 0.0
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for tabular reports and JSON export."""
+        return {
+            "queries": self.queries,
+            "num_isns": self.num_isns,
+            "hedges_issued": self.hedges_issued,
+            "hedged_queries": self.hedged_queries,
+            "hedge_wins": self.hedge_wins,
+            "timeout_fires": self.timeout_fires,
+            "cancelled_replicas": self.cancelled_replicas,
+            "dropped_replicas": self.dropped_replicas,
+            "redundant_completions": self.redundant_completions,
+            "late_completions": self.late_completions,
+            "wasted_work_ms": self.wasted_work_ms,
+            "useful_work_ms": self.useful_work_ms,
+            "hedge_rate": self.hedge_rate,
+            "timeout_rate": self.timeout_rate,
+            "wasted_work_fraction": self.wasted_work_fraction,
+            "k_coverage_mean": self.k_coverage_mean,
+        }
 
 
 @dataclass

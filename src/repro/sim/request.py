@@ -26,6 +26,9 @@ class RequestState(enum.Enum):
     QUEUED = "queued"
     RUNNING = "running"
     COMPLETED = "completed"
+    #: Withdrawn mid-flight (tied-request cancellation, replica kill);
+    #: terminal like COMPLETED but never recorded as a completion.
+    CANCELLED = "cancelled"
 
 
 class Request:

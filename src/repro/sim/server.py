@@ -78,6 +78,11 @@ class Server:
         self._long_threads = 0
         self._last_advance = self.engine.now
         self._completion_handle: EventHandle | None = None
+        #: Temporary cap on dispatchable workers (degraded-core fault
+        #: windows); None means the full configured pool.
+        self._worker_limit: int | None = None
+        #: Requests withdrawn mid-flight via :meth:`cancel_request`.
+        self.cancelled_count = 0
 
         # CPU-utilisation performance counter (sampled EMA, Section 4.6).
         self._cpu_util_ema = 0.0
@@ -118,9 +123,16 @@ class Server:
         return self._long_threads
 
     @property
+    def worker_limit(self) -> int:
+        """Workers currently dispatchable (may be degraded below config)."""
+        if self._worker_limit is None:
+            return self.config.worker_threads
+        return self._worker_limit
+
+    @property
     def idle_workers(self) -> int:
         """Spare worker threads (TPC's dynamic-correction resource)."""
-        return self.config.worker_threads - self._busy_workers
+        return max(0, self.worker_limit - self._busy_workers)
 
     @property
     def cpu_utilization(self) -> float:
@@ -222,6 +234,69 @@ class Server:
         request.remaining_work_ms += self.config.rampup_penalty_ms
         self._reschedule_completion()
         return granted
+
+    def set_worker_limit(self, limit: int | None) -> None:
+        """Cap the dispatchable worker pool (degraded-core fault window).
+
+        Already-running requests keep their workers — the cap only gates
+        new dispatches and degree raises — so a limit below the current
+        busy count drains naturally instead of preempting.  ``None``
+        restores the full configured pool.
+        """
+        if limit is not None:
+            if limit < 1:
+                raise SimulationError(f"worker limit must be >= 1, got {limit}")
+            limit = min(int(limit), self.config.worker_threads)
+        self._advance()
+        self._worker_limit = limit
+        self._dispatch()
+        self._reschedule_completion()
+
+    def cancel_request(self, request: Request) -> float:
+        """Withdraw a queued or running request; returns executed work (ms).
+
+        Frees the request's workers immediately and cancels its pending
+        runtime-check event through the engine's event-cancel machinery
+        (tied-request cancellation, replica kills).  Cancelled requests
+        never reach the recorder or the completion callback.
+        """
+        if request.state is RequestState.QUEUED:
+            try:
+                self.waiting.remove(request)
+            except ValueError:
+                raise SimulationError(
+                    f"request {request.rid} is not queued on this server"
+                ) from None
+            request.state = RequestState.CANCELLED
+            request.finish_ms = self.now
+            self.cancelled_count += 1
+            return 0.0
+        if request.state is not RequestState.RUNNING:
+            raise SimulationError(
+                f"cannot cancel request {request.rid} in state "
+                f"{request.state.value}"
+            )
+        if request not in self.running:
+            raise SimulationError(
+                f"request {request.rid} is not running on this server"
+            )
+        self._advance()
+        work_done = max(
+            0.0, request.demand_ms - max(request.remaining_work_ms, 0.0)
+        )
+        self._busy_workers -= request.degree
+        if request.predicted_ms > self.long_threshold_ms:
+            self._long_threads -= request.degree
+        if request.check_handle is not None:
+            request.check_handle.cancel()
+            request.check_handle = None
+        self.running.remove(request)
+        request.state = RequestState.CANCELLED
+        request.finish_ms = self.now
+        self.cancelled_count += 1
+        self._dispatch()
+        self._reschedule_completion()
+        return work_done
 
     def _complete(self, request: Request) -> None:
         request.state = RequestState.COMPLETED

@@ -30,6 +30,10 @@ class TraceEventKind(enum.Enum):
     DISPATCH = "dispatch"
     DEGREE_CHANGE = "degree_change"
     COMPLETION = "completion"
+    #: Withdrawn mid-flight (tied-request cancellation, replica kill):
+    #: terminal like COMPLETION, but may follow ARRIVAL directly when a
+    #: request is cancelled while still queued.
+    CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True)
@@ -102,6 +106,7 @@ class RequestTracer:
             TraceEventKind.DISPATCH: 1,
             TraceEventKind.DEGREE_CHANGE: 2,
             TraceEventKind.COMPLETION: 3,
+            TraceEventKind.CANCELLED: 3,
         }
         last_time: dict[int, float] = {}
         last_stage: dict[int, int] = {}
@@ -128,7 +133,10 @@ class RequestTracer:
                 )
             last_time[event.rid] = event.time_ms
             last_stage[event.rid] = max(previous, stage)
-            if event.kind is TraceEventKind.COMPLETION:
+            if event.kind in (
+                TraceEventKind.COMPLETION,
+                TraceEventKind.CANCELLED,
+            ):
                 done.add(event.rid)
 
 
@@ -147,6 +155,7 @@ def attach_tracer(
     original_dispatch = server._dispatch
     original_raise = server.raise_degree
     original_complete = server._complete
+    original_cancel = server.cancel_request
 
     def submit(request: "Request") -> None:
         original_submit(request)
@@ -184,10 +193,19 @@ def attach_tracer(
             server.now, request.rid, TraceEventKind.COMPLETION, request.degree
         )
 
+    def cancel_request(request: "Request") -> float:
+        degree = request.degree
+        work_done = original_cancel(request)
+        tracer.record(
+            server.now, request.rid, TraceEventKind.CANCELLED, degree
+        )
+        return work_done
+
     server.submit = submit  # type: ignore[method-assign]
     server._dispatch = dispatch  # type: ignore[method-assign]
     server.raise_degree = raise_degree  # type: ignore[method-assign]
     server._complete = complete  # type: ignore[method-assign]
+    server.cancel_request = cancel_request  # type: ignore[method-assign]
     return tracer
 
 

@@ -20,6 +20,7 @@ class TestTopLevelApi:
         for sub in (
             "core", "sim", "search", "prediction", "policies",
             "cluster", "finance", "experiments", "analysis",
+            "resilience",
         ):
             module = importlib.import_module(f"repro.{sub}")
             assert hasattr(module, "__all__")

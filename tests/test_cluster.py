@@ -12,27 +12,27 @@ class TestAggregator:
     def test_latency_is_slowest_isn_plus_network(self):
         agg = Aggregator(num_isns=3, network_overhead_ms=2.0)
         agg.begin(0, arrival_ms=10.0)
-        assert agg.on_isn_complete(0, 15.0) is False
-        assert agg.on_isn_complete(0, 30.0) is False
-        assert agg.on_isn_complete(0, 20.0) is True
+        assert agg.on_isn_complete(0, 15.0, isn=0) is False
+        assert agg.on_isn_complete(0, 30.0, isn=1) is False
+        assert agg.on_isn_complete(0, 20.0, isn=2) is True
         assert agg.latencies_ms == [pytest.approx(22.0)]  # 30 - 10 + 2
 
     def test_per_isn_latencies_recorded(self):
         agg = Aggregator(2, 0.0)
         agg.begin(0, 0.0)
-        agg.on_isn_complete(0, 5.0)
-        agg.on_isn_complete(0, 9.0)
+        agg.on_isn_complete(0, 5.0, isn=0)
+        agg.on_isn_complete(0, 9.0, isn=1)
         assert sorted(agg.isn_latencies_ms) == [5.0, 9.0]
 
     def test_interleaved_queries(self):
         agg = Aggregator(2, 0.0)
         agg.begin(0, 0.0)
         agg.begin(1, 1.0)
-        agg.on_isn_complete(1, 4.0)
-        agg.on_isn_complete(0, 5.0)
-        assert agg.on_isn_complete(1, 6.0) is True
+        agg.on_isn_complete(1, 4.0, isn=0)
+        agg.on_isn_complete(0, 5.0, isn=0)
+        assert agg.on_isn_complete(1, 6.0, isn=1) is True
         assert agg.inflight == 1
-        assert agg.on_isn_complete(0, 7.0) is True
+        assert agg.on_isn_complete(0, 7.0, isn=1) is True
         assert agg.completed == 2
 
     def test_duplicate_begin_rejected(self):
@@ -44,13 +44,39 @@ class TestAggregator:
     def test_unknown_completion_rejected(self):
         agg = Aggregator(2, 0.0)
         with pytest.raises(SimulationError):
-            agg.on_isn_complete(5, 1.0)
+            agg.on_isn_complete(5, 1.0, isn=0)
 
     def test_completion_before_arrival_rejected(self):
         agg = Aggregator(1, 0.0)
         agg.begin(0, 10.0)
         with pytest.raises(SimulationError):
-            agg.on_isn_complete(0, 5.0)
+            agg.on_isn_complete(0, 5.0, isn=0)
+
+    def test_duplicate_isn_completion_rejected(self):
+        agg = Aggregator(3, 0.0)
+        agg.begin(0, 0.0)
+        agg.on_isn_complete(0, 5.0, isn=1)
+        with pytest.raises(SimulationError):
+            agg.on_isn_complete(0, 6.0, isn=1)
+
+    def test_out_of_range_isn_rejected(self):
+        agg = Aggregator(2, 0.0)
+        agg.begin(0, 0.0)
+        with pytest.raises(SimulationError):
+            agg.on_isn_complete(0, 1.0, isn=2)
+
+    def test_wait_for_k_answers_early_and_counts_late(self):
+        agg = Aggregator(3, network_overhead_ms=0.0, wait_for_k=2)
+        agg.begin(0, 0.0)
+        assert agg.on_isn_complete(0, 5.0, isn=0) is False
+        assert agg.on_isn_complete(0, 8.0, isn=2) is True
+        assert agg.latencies_ms == [pytest.approx(8.0)]
+        assert agg.k_coverages == [pytest.approx(2.0 / 3.0)]
+        # The third replica is tolerated, counted late, still deduped.
+        assert agg.on_isn_complete(0, 11.0, isn=1) is False
+        assert agg.late_completions == 1
+        with pytest.raises(SimulationError):
+            agg.on_isn_complete(0, 12.0, isn=1)
 
 
 class TestClusterExperiment:

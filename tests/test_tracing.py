@@ -88,6 +88,36 @@ class TestTimeline:
         assert "arrival" in text and "completion" in text
         assert tracer.format_timeline(99).startswith("(no events")
 
+    def test_running_cancellation_recorded(self):
+        server, tracer = traced_server(FixedDegreePolicy(2))
+        req = make_request(0, 50.0)
+        server.submit(req)
+        server.engine.run_until(10.0)
+        server.cancel_request(req)
+        kinds = [e.kind for e in tracer.timeline(0)]
+        assert kinds == [
+            TraceEventKind.ARRIVAL,
+            TraceEventKind.DISPATCH,
+            TraceEventKind.CANCELLED,
+        ]
+        cancelled = tracer.timeline(0)[-1]
+        assert cancelled.time_ms == pytest.approx(10.0)
+        assert cancelled.degree == 2  # degree held at cancellation time
+        tracer.validate()
+
+    def test_queued_cancellation_skips_dispatch(self):
+        server, tracer = traced_server(
+            FixedDegreePolicy(1), worker_threads=1, max_parallelism=1
+        )
+        server.submit(make_request(0, 30.0))
+        queued = make_request(1, 10.0)
+        server.submit(queued)
+        server.cancel_request(queued)
+        kinds = [e.kind for e in tracer.timeline(1)]
+        assert kinds == [TraceEventKind.ARRIVAL, TraceEventKind.CANCELLED]
+        server.run_to_completion(1)
+        tracer.validate()
+
 
 class TestValidation:
     def test_detects_events_after_completion(self):
@@ -124,6 +154,31 @@ class TestValidation:
         server.submit(make_request(0, 5.0))
         with pytest.raises(SimulationError):
             attach_tracer(server)
+
+    def test_detects_events_after_cancellation(self):
+        tracer = RequestTracer()
+        tracer.record(0.0, 1, TraceEventKind.ARRIVAL, 0)
+        tracer.record(1.0, 1, TraceEventKind.DISPATCH, 1)
+        tracer.record(2.0, 1, TraceEventKind.CANCELLED, 1)
+        tracer.record(3.0, 1, TraceEventKind.COMPLETION, 1)
+        with pytest.raises(SimulationError):
+            tracer.validate()
+
+    def test_validator_covers_every_event_kind(self):
+        # The validator's stage map must stay exhaustive: a new
+        # TraceEventKind without ordering rules would silently KeyError
+        # inside validate() instead of being checked.
+        tracer = RequestTracer()
+        for rid, kind in enumerate(TraceEventKind):
+            if kind is not TraceEventKind.ARRIVAL:
+                tracer.record(0.0, rid, TraceEventKind.ARRIVAL, 0)
+            if kind in (
+                TraceEventKind.DEGREE_CHANGE,
+                TraceEventKind.COMPLETION,
+            ):
+                tracer.record(0.5, rid, TraceEventKind.DISPATCH, 1)
+            tracer.record(1.0, rid, kind, 1)
+        tracer.validate()
 
     def test_event_str(self):
         event = TraceEvent(1.5, 7, TraceEventKind.DISPATCH, 3)
