@@ -13,6 +13,7 @@ from .cache import ResultCache, default_cache
 from .pool import (
     ProgressEvent,
     log_progress,
+    forget_workload,
     memoised_workload,
     resolve_worker_count,
     run_cell,
@@ -31,6 +32,7 @@ __all__ = [
     "default_cache",
     "ProgressEvent",
     "log_progress",
+    "forget_workload",
     "memoised_workload",
     "resolve_worker_count",
     "run_cell",

@@ -35,6 +35,7 @@ from .spec import CellResult, CellSpec, SweepSpec, WorkloadSpec
 __all__ = [
     "ProgressEvent",
     "memoised_workload",
+    "forget_workload",
     "resolve_worker_count",
     "run_cell",
     "run_sweep",
@@ -103,6 +104,16 @@ def memoised_workload(spec: WorkloadSpec) -> Any:
             _WORKLOAD_MEMO.pop(next(iter(_WORKLOAD_MEMO)))
         _WORKLOAD_MEMO[spec] = workload
     return workload
+
+
+def forget_workload(spec: WorkloadSpec) -> None:
+    """Evict one workload from this process's memo (no-op if absent).
+
+    Lets cold-path measurements (``repro.perf``'s end-to-end scenario)
+    pay the full workload build on every repeat instead of timing the
+    memoised copy.
+    """
+    _WORKLOAD_MEMO.pop(spec, None)
 
 
 def _execute_cell(spec: CellSpec) -> CellResult:

@@ -36,13 +36,13 @@ Registered checks:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..config import ClusterConfig, ServerConfig
 from ..errors import ConfigError
 from ..exec.spec import CellSpec, spec_hash
+from ..perf.scenarios import HotpathResult, run_hotpath_benchmark
 from ..sim.metrics import DistributionStats, distribution_stats
 from .bands import Band, Measurement
 
@@ -458,73 +458,12 @@ def _evaluate_cluster(ctx: "GateContext") -> list[Measurement]:
 
 # ---------------------------------------------------------------------------
 # perf_budget
-
-
-@dataclass(frozen=True)
-class HotpathResult:
-    """Outcome of the synthetic simulator hot-path benchmark."""
-
-    n_requests: int
-    events_run: int
-    wall_time_s: float
-
-    @property
-    def events_per_s(self) -> float:
-        """Engine callbacks executed per wall-clock second."""
-        return self.events_run / self.wall_time_s
-
-    @property
-    def requests_per_s(self) -> float:
-        """Simulated requests completed per wall-clock second."""
-        return self.n_requests / self.wall_time_s
-
-
-def run_hotpath_benchmark(n_requests: int, seed: int = GATE_SEED) -> HotpathResult:
-    """Time the discrete-event hot path on a synthetic workload.
-
-    Builds the cheapest faithful exercise of the simulator — hand-made
-    requests with lognormal demands over a three-group speedup book,
-    scheduled by AP (load feedback and mid-flight degree decisions, no
-    predictor) — so the gate can budget events/sec without paying the
-    multi-second search-workload build.  The event count is
-    bit-deterministic given ``(n_requests, seed)``; only the wall
-    clock varies across machines.
-    """
-    from ..core.speedup import SpeedupBook, SpeedupProfile
-    from ..policies.registry import make_policy
-    from ..rng import RngFactory
-    from ..sim.client import OpenLoopClient
-    from ..sim.engine import Engine
-    from ..sim.request import Request
-    from ..sim.server import Server
-
-    book = SpeedupBook(
-        [
-            SpeedupProfile([1.0, 1.05, 1.08, 1.11, 1.14, 1.16]),
-            SpeedupProfile([1.0, 1.4, 1.6, 1.8, 1.95, 2.05]),
-            SpeedupProfile([1.0, 1.8, 2.5, 3.2, 3.7, 4.1]),
-        ]
-    )
-    rngs = RngFactory(seed)
-    demands = rngs.get("trace").lognormal(1.3, 1.3, size=n_requests)
-    requests = [
-        Request(i, float(d), float(d), book.profiles[book.group_of(float(d))])
-        for i, d in enumerate(demands)
-    ]
-    policy = make_policy(
-        "AP", speedup_book=book, group_weights=[0.6, 0.3, 0.1]
-    )
-    engine = Engine()
-    server = Server(ServerConfig(), policy, engine=engine)
-    client = OpenLoopClient([server])
-    started = time.perf_counter()
-    client.schedule_trace(engine, requests, 500.0, rngs.get("arrivals"))
-    server.run_to_completion(n_requests)
-    return HotpathResult(
-        n_requests=n_requests,
-        events_run=engine.events_run,
-        wall_time_s=max(time.perf_counter() - started, 1e-9),
-    )
+#
+# The hot-path benchmark itself lives in repro.perf.scenarios (the
+# perf harness's ``server_under_load`` scenario) and is imported above,
+# so ``python -m repro.perf`` and this check time the identical code.
+# The gate seed equals repro.perf's HOTPATH_SEED; both are asserted
+# equal by the test suite.
 
 
 def hotpath_measurements(result: HotpathResult) -> list[Measurement]:

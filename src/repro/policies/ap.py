@@ -79,6 +79,12 @@ class AdaptiveParallelismPolicy(ParallelismPolicy):
             raise ConfigError("interference_weight must be >= 0")
         self.avg_profile = avg_profile
         self.interference_weight = float(interference_weight)
+        #: Hot-path cache: ``1 / S(d)`` is a constant of the profile,
+        #: so it is divided once here instead of once per dispatch.
+        self._inverse_speedups = tuple(
+            1.0 / avg_profile.speedup(d)
+            for d in range(1, avg_profile.max_degree + 1)
+        )
 
     def initial_degree(self, request: "Request", server: "Server") -> int:
         n = server.queue_length + server.running_count
@@ -86,10 +92,11 @@ class AdaptiveParallelismPolicy(ParallelismPolicy):
         max_degree = min(server.config.max_parallelism, self.avg_profile.max_degree)
         best_degree = 1
         best_cost = float("inf")
+        weighted_n = self.interference_weight * n
+        inverse = self._inverse_speedups
         for degree in range(1, max_degree + 1):
-            own = 1.0 / self.avg_profile.speedup(degree)
-            interference = 1.0 + self.interference_weight * n * degree / cores
-            cost = own * interference
+            interference = 1.0 + weighted_n * degree / cores
+            cost = inverse[degree - 1] * interference
             if cost < best_cost - 1e-12:
                 best_cost = cost
                 best_degree = degree

@@ -14,6 +14,8 @@ from .client import OpenLoopClient, replay_trace
 from .metrics import (
     LatencyRecorder,
     ResilienceStats,
+    StreamingLatencyRecorder,
+    StreamingQuantile,
     percentile,
     weighted_tail_latency,
 )
@@ -33,6 +35,8 @@ __all__ = [
     "OpenLoopClient",
     "replay_trace",
     "LatencyRecorder",
+    "StreamingLatencyRecorder",
+    "StreamingQuantile",
     "ResilienceStats",
     "percentile",
     "weighted_tail_latency",

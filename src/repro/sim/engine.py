@@ -5,6 +5,22 @@ absolute simulated times (milliseconds), stored in a binary heap, and
 executed in time order with FIFO tie-breaking.  Cancellation is lazy —
 cancelled handles stay in the heap and are skipped when popped — which
 keeps scheduling O(log n) with no removal cost.
+
+Two pieces of heap hygiene keep the lazy scheme from degrading under
+reschedule-heavy workloads (the server cancels and re-arms its
+completion event on almost every submit/check):
+
+* the heap stores ``(time, seq, handle)`` tuples so ordering is decided
+  by C-level tuple comparison instead of a Python ``__lt__`` call, and
+* a live-event counter makes :attr:`Engine.pending` O(1) and drives
+  automatic *compaction* — when cancelled entries outnumber live ones
+  the heap is rebuilt without them, bounding both memory and the
+  ``O(log n)`` push cost at ``O(log live)``.
+
+Compaction never changes observable behaviour: the pop order of a heap
+is a pure function of the ``(time, seq)`` total order, which filtering
+and re-heapifying preserves, and skipped cancelled entries were never
+counted in :attr:`Engine.events_run`.
 """
 
 from __future__ import annotations
@@ -15,6 +31,9 @@ from typing import Callable
 from ..errors import SimulationError
 
 __all__ = ["Engine", "EventHandle"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class EventHandle:
@@ -28,18 +47,35 @@ class EventHandle:
         True once :meth:`cancel` has been called; the engine skips it.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        engine: "Engine | None" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback: Callable[[], None] | None = callback
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
+        """Prevent the event from firing.  Idempotent.
+
+        A no-op on a handle that already fired (``callback`` is cleared
+        on execution) or was already cancelled — either would otherwise
+        double-decrement the engine's live-event counter.
+        """
+        if self.cancelled or self.callback is None:
+            return
         self.cancelled = True
         self.callback = None  # break reference cycles early
+        engine = self._engine
+        if engine is not None:
+            engine._on_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:
@@ -52,13 +88,36 @@ class EventHandle:
 
 
 class Engine:
-    """Discrete-event loop with a millisecond clock starting at 0."""
+    """Discrete-event loop with a millisecond clock starting at 0.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    compact_min_garbage:
+        Minimum number of cancelled-but-unpopped entries before
+        automatic compaction is considered.  Raise to effectively
+        disable compaction (tests), lower to force it aggressively.
+    compact_garbage_ratio:
+        Compaction also requires ``garbage > ratio * live`` so rebuilds
+        stay amortised O(1) per cancellation.
+    """
+
+    def __init__(
+        self,
+        compact_min_garbage: int = 64,
+        compact_garbage_ratio: float = 1.0,
+    ) -> None:
+        if compact_min_garbage < 0:
+            raise SimulationError("compact_min_garbage must be >= 0")
+        if compact_garbage_ratio < 0:
+            raise SimulationError("compact_garbage_ratio must be >= 0")
         self.now: float = 0.0
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._events_run = 0
+        self._live = 0
+        self._compactions = 0
+        self.compact_min_garbage = compact_min_garbage
+        self.compact_garbage_ratio = compact_garbage_ratio
 
     @property
     def events_run(self) -> int:
@@ -67,33 +126,79 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still scheduled."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of live (non-cancelled) events still scheduled.  O(1)."""
+        return self._live
+
+    @property
+    def garbage(self) -> int:
+        """Cancelled entries still occupying heap slots."""
+        return len(self._heap) - self._live
+
+    @property
+    def compactions(self) -> int:
+        """Number of automatic/explicit heap compactions performed."""
+        return self._compactions
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute simulated time ``time``."""
-        if time < self.now - 1e-9:
+        now = self.now
+        if time < now - 1e-9:
             raise SimulationError(
-                f"cannot schedule event in the past: {time:.6f} < now={self.now:.6f}"
+                f"cannot schedule event in the past: {time:.6f} < now={now:.6f}"
             )
-        handle = EventHandle(max(time, self.now), self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        if time < now:
+            time = now
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, self)
+        _heappush(self._heap, (time, seq, handle))
+        self._live += 1
         return handle
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` after ``delay`` ms of simulated time."""
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
-        return self.schedule_at(self.now + delay, callback)
+        # Inlined schedule_at: now + delay can never round below now for
+        # a non-negative delay, so the past-check and clamp are moot.
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, self)
+        _heappush(self._heap, (time, seq, handle))
+        self._live += 1
+        return handle
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping hook invoked once per :meth:`EventHandle.cancel`."""
+        live = self._live - 1
+        self._live = live
+        garbage = len(self._heap) - live
+        if garbage >= self.compact_min_garbage and (
+            garbage > self.compact_garbage_ratio * live
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap in place.
+
+        Safe at any point: pop order depends only on the ``(time, seq)``
+        total order, which any valid heap of the same entries yields.
+        """
+        heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._heap = heap
+        self._compactions += 1
 
     def step(self) -> bool:
         """Run the next live event.  Returns False when the heap is empty."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _seq, handle = _heappop(heap)
             if handle.cancelled:
                 continue
-            self.now = handle.time
+            self._live -= 1
+            self.now = time
             callback = handle.callback
             handle.callback = None
             self._events_run += 1
@@ -117,12 +222,17 @@ class Engine:
     def run_until(self, time: float) -> None:
         """Run all events scheduled at or before ``time``, then advance
         the clock to ``time`` even if no event lands exactly there."""
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+        while True:
+            # Re-read the heap each iteration: a fired callback may have
+            # cancelled events and triggered compaction, which rebinds it.
+            heap = self._heap
+            if not heap:
+                break
+            head = heap[0]
+            if head[2].cancelled:
+                _heappop(heap)
                 continue
-            if head.time > time:
+            if head[0] > time:
                 break
             self.step()
         self.now = max(self.now, time)

@@ -66,6 +66,7 @@ class Request:
         "target_ms",
         "degree_changes",
         "check_handle",
+        "service_speedup",
     )
 
     def __init__(
@@ -98,6 +99,10 @@ class Request:
         self.degree_changes = 0
         #: Pending runtime-check event handle, cancelled on completion.
         self.check_handle = None
+        #: Effective speedup ``S(degree)`` cached by the server's rate
+        #: classes while the request runs (hot-path: avoids a profile
+        #: lookup per event).
+        self.service_speedup = 1.0
 
     @property
     def response_ms(self) -> float:

@@ -15,6 +15,18 @@ request starts, an optional first runtime-check delay, and a check
 callback that may raise the degree mid-flight (dynamic correction,
 RampUp).  Raising a degree charges a configurable ramp-up penalty to
 model task re-partitioning and synchronisation overhead.
+
+Hot-path organisation (see DESIGN.md §10): running requests are grouped
+into *rate classes* — one per distinct effective speedup value ``S(d)``
+— so fluid accrual and the next-completion horizon are O(#classes) per
+event instead of O(running requests).  Every float operation matches
+the naive per-request formulation bit-for-bit: the per-event service
+term ``dt * (S(d) * factor)`` is a single shared multiplication for
+the whole class (the same value the per-request loop computed), each
+member still absorbs it with one subtraction in cascade order, and the
+class-minimum trick relies only on IEEE-754 monotonicity (subtracting
+the same term, or dividing by the same positive rate, never reorders
+operands).
 """
 
 from __future__ import annotations
@@ -34,6 +46,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["Server"]
 
 _EPS = 1e-9
+
+
+class _RateClass:
+    """Running requests sharing one effective speedup value ``S(d)``.
+
+    All members progress at the identical rate ``S(d) * factor``, so
+    one accrual term per event serves the whole class, and the member
+    with the least remaining work (``min_member``) stays the class
+    argmin between membership changes: uniform subtraction is monotone,
+    it can never reorder two remaining-work values.
+    """
+
+    __slots__ = ("speedup", "members", "min_member")
+
+    def __init__(self, speedup: float, first: Request) -> None:
+        self.speedup = speedup
+        self.members: list[Request] = [first]
+        self.min_member: Request = first
 
 
 class Server:
@@ -83,6 +113,23 @@ class Server:
         self._worker_limit: int | None = None
         #: Requests withdrawn mid-flight via :meth:`cancel_request`.
         self.cancelled_count = 0
+        #: Rate classes of the running set, keyed by effective speedup.
+        self._classes: dict[float, _RateClass] = {}
+        #: Caches of ``total_throughput(busy)`` and the contention
+        #: factor, refreshed whenever ``_busy_workers`` changes.  The
+        #: busy count never exceeds the worker pool, so both functions
+        #: are tabulated once per server.
+        workers = config.worker_threads
+        physical = config.physical_cores
+        self._throughput_by_busy = tuple(
+            config.total_throughput(b) for b in range(workers + 1)
+        )
+        self._factor_by_busy = tuple(
+            1.0 if b <= physical else self._throughput_by_busy[b] / b
+            for b in range(workers + 1)
+        )
+        self._busy_throughput = 0.0
+        self._factor = 1.0
 
         # CPU-utilisation performance counter (sampled EMA, Section 4.6).
         self._cpu_util_ema = 0.0
@@ -90,6 +137,7 @@ class Server:
         self._cpu_window_start = self.engine.now
         self._sampler_handle: EventHandle | None = None
 
+        self._refresh_capacity_cache()
         policy.bind(self)
 
     # ------------------------------------------------------------------
@@ -167,23 +215,33 @@ class Server:
 
     def _dispatch(self) -> None:
         """Start queued requests while workers are idle (FIFO)."""
-        while self.waiting and self.idle_workers > 0:
-            request = self.waiting.popleft()
-            degree = int(self.policy.initial_degree(request, self))
+        waiting = self.waiting
+        initial_degree = self.policy.initial_degree
+        max_parallelism = self.config.max_parallelism
+        full_pool = self.config.worker_threads
+        while waiting:
+            limit = self._worker_limit
+            idle = (full_pool if limit is None else limit) - self._busy_workers
+            if idle <= 0:
+                break
+            request = waiting.popleft()
+            degree = int(initial_degree(request, self))
             if degree < 1:
                 raise SchedulingError(
                     f"{self.policy.name} chose degree {degree} < 1"
                 )
-            degree = min(degree, self.config.max_parallelism, self.idle_workers)
+            degree = min(degree, max_parallelism, idle)
             request.state = RequestState.RUNNING
             request.start_ms = self.now
             request.degree = degree
             request.initial_degree = degree
             request.max_degree_seen = degree
             self._busy_workers += degree
+            self._refresh_capacity_cache()
             if request.predicted_ms > self.long_threshold_ms:
                 self._long_threads += degree
             self.running.append(request)
+            self._class_join(request)
             delay = self.policy.first_check_delay(request, self)
             if delay is not None:
                 request.check_handle = self.engine.schedule(
@@ -225,13 +283,16 @@ class Server:
         if granted <= request.degree:
             return request.degree
         delta = granted - request.degree
+        self._class_leave(request)
         self._busy_workers += delta
+        self._refresh_capacity_cache()
         if request.predicted_ms > self.long_threshold_ms:
             self._long_threads += delta
         request.degree = granted
         request.max_degree_seen = max(request.max_degree_seen, granted)
         request.degree_changes += 1
         request.remaining_work_ms += self.config.rampup_penalty_ms
+        self._class_join(request)
         self._reschedule_completion()
         return granted
 
@@ -285,11 +346,13 @@ class Server:
             0.0, request.demand_ms - max(request.remaining_work_ms, 0.0)
         )
         self._busy_workers -= request.degree
+        self._refresh_capacity_cache()
         if request.predicted_ms > self.long_threshold_ms:
             self._long_threads -= request.degree
         if request.check_handle is not None:
             request.check_handle.cancel()
             request.check_handle = None
+        self._class_leave(request)
         self.running.remove(request)
         request.state = RequestState.CANCELLED
         request.finish_ms = self.now
@@ -302,15 +365,55 @@ class Server:
         request.state = RequestState.COMPLETED
         request.finish_ms = self.now
         self._busy_workers -= request.degree
+        self._refresh_capacity_cache()
         if request.predicted_ms > self.long_threshold_ms:
             self._long_threads -= request.degree
         if request.check_handle is not None:
             request.check_handle.cancel()
             request.check_handle = None
+        self._class_leave(request)
         self.running.remove(request)
         self.recorder.record(request)
         if self.completion_callback is not None:
             self.completion_callback(request)
+
+    # ------------------------------------------------------------------
+    # Rate-class bookkeeping.
+    # ------------------------------------------------------------------
+
+    def _class_join(self, request: Request) -> None:
+        """Enter the rate class of the request's current degree."""
+        speedup = request.speedup.speedup(request.degree)
+        request.service_speedup = speedup
+        cls = self._classes.get(speedup)
+        if cls is None:
+            self._classes[speedup] = _RateClass(speedup, request)
+        else:
+            cls.members.append(request)
+            if request.remaining_work_ms < cls.min_member.remaining_work_ms:
+                cls.min_member = request
+
+    def _class_leave(self, request: Request) -> None:
+        """Leave the current rate class, re-scanning the min if needed."""
+        cls = self._classes[request.service_speedup]
+        members = cls.members
+        members.remove(request)
+        if not members:
+            del self._classes[request.service_speedup]
+        elif cls.min_member is request:
+            best = members[0]
+            best_rem = best.remaining_work_ms
+            for member in members:
+                if member.remaining_work_ms < best_rem:
+                    best = member
+                    best_rem = member.remaining_work_ms
+            cls.min_member = best
+
+    def _refresh_capacity_cache(self) -> None:
+        """Recompute the throughput/contention caches after a busy change."""
+        busy = self._busy_workers
+        self._busy_throughput = self._throughput_by_busy[busy]
+        self._factor = self._factor_by_busy[busy]
 
     # ------------------------------------------------------------------
     # Fluid progress integration.
@@ -323,40 +426,52 @@ class Server:
         ``total_throughput(T)`` core-equivalents (full speed up to the
         physical core count, diminished SMT-sibling speed beyond, a
         hard ceiling past the hardware-thread count), shared equally.
+        The value is cached and refreshed when the busy count changes.
         """
-        busy = self._busy_workers
-        if busy <= self.config.physical_cores:
-            return 1.0
-        return self.config.total_throughput(busy) / busy
+        return self._factor
 
     def _advance(self) -> None:
-        """Integrate remaining work of running requests up to ``now``."""
-        now = self.now
+        """Integrate remaining work of running requests up to ``now``.
+
+        One accrual term per rate class; each member absorbs it with a
+        single subtraction, exactly as the per-request loop would.
+        """
+        now = self.engine.now
         dt = now - self._last_advance
         if dt <= 0:
             return
-        self._cpu_busy_integral += dt * self.config.total_throughput(
-            self._busy_workers
-        )
-        factor = self._contention_factor()
-        for request in self.running:
-            rate = request.speedup.speedup(request.degree) * factor
-            request.remaining_work_ms -= dt * rate
+        self._cpu_busy_integral += dt * self._busy_throughput
+        factor = self._factor
+        for cls in self._classes.values():
+            rate = cls.speedup * factor
+            term = dt * rate
+            for member in cls.members:
+                member.remaining_work_ms -= term
         self._last_advance = now
 
     def _reschedule_completion(self) -> None:
-        """(Re)schedule the single next-completion event."""
-        if self._completion_handle is not None:
-            self._completion_handle.cancel()
+        """(Re)schedule the single next-completion event.
+
+        The horizon is the minimum over rate classes of the class-min
+        member's time to finish — the same value as the minimum over
+        all running requests, because dividing by the shared positive
+        class rate preserves the remaining-work ordering.
+        """
+        handle = self._completion_handle
+        if handle is not None:
+            handle.cancel()
             self._completion_handle = None
         if not self.running:
             return
-        factor = self._contention_factor()
-        horizon = min(
-            max(r.remaining_work_ms, 0.0)
-            / (r.speedup.speedup(r.degree) * factor)
-            for r in self.running
-        )
+        factor = self._factor
+        horizon = None
+        for cls in self._classes.values():
+            remaining = cls.min_member.remaining_work_ms
+            if remaining < 0.0:
+                remaining = 0.0
+            h = remaining / (cls.speedup * factor)
+            if horizon is None or h < horizon:
+                horizon = h
         self._completion_handle = self.engine.schedule(
             horizon, self._on_completion_event
         )
@@ -367,19 +482,30 @@ class Server:
         # A request counts as finished when its remaining work is gone or
         # its time-to-finish drops below 1 ns (guards against the clock
         # no longer resolving the step, which would re-arm forever).
-        factor = self._contention_factor()
+        # The finished test is monotone in remaining work, so the class
+        # minima decide in O(#classes) whether anyone finished at all;
+        # only a real completion pays the full scan (in running order,
+        # which the recorder and completion callbacks observe).
+        factor = self._factor
+        any_finished = False
+        for cls in self._classes.values():
+            remaining = cls.min_member.remaining_work_ms
+            if (
+                remaining <= _EPS
+                or remaining / (cls.speedup * factor) <= 1e-6
+            ):
+                any_finished = True
+                break
+        if not any_finished:
+            # Rates changed between scheduling and firing; just re-arm.
+            self._reschedule_completion()
+            return
         finished = [
             r
             for r in self.running
             if r.remaining_work_ms <= _EPS
-            or max(r.remaining_work_ms, 0.0)
-            / (r.speedup.speedup(r.degree) * factor)
-            <= 1e-6
+            or r.remaining_work_ms / (r.service_speedup * factor) <= 1e-6
         ]
-        if not finished:
-            # Rates changed between scheduling and firing; just re-arm.
-            self._reschedule_completion()
-            return
         for request in finished:
             self._complete(request)
         self._dispatch()
@@ -390,6 +516,13 @@ class Server:
     # ------------------------------------------------------------------
 
     def _ensure_sampler(self) -> None:
+        """(Re)subscribe the CPU sampler on the first submit after idle.
+
+        Paired with the idle shutdown in :meth:`_on_cpu_sample`, this
+        keeps a drained server from burning sampler events forever: the
+        sampler unsubscribes itself once the server is fully idle and
+        is re-armed here by the next arrival.
+        """
         if self._sampler_handle is None:
             self._cpu_window_start = self.now
             self._cpu_busy_integral = 0.0
@@ -416,6 +549,8 @@ class Server:
                 self.config.cpu_sample_interval_ms, self._on_cpu_sample
             )
         else:
+            # Fully idle: stop sampling (no event churn in idle tails)
+            # and decay the EMA to zero; submit() resubscribes.
             self._cpu_util_ema = 0.0
 
     # ------------------------------------------------------------------
@@ -427,8 +562,10 @@ class Server:
         shared engine externally.
         """
         budget = max_events
-        while self.completed_count < expected:
-            if not self.engine.step():
+        engine_step = self.engine.step
+        recorder = self.recorder
+        while len(recorder) < expected:
+            if not engine_step():
                 raise SimulationError(
                     f"engine drained with {self.completed_count}/{expected} "
                     "requests complete"

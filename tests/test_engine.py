@@ -108,3 +108,125 @@ class TestRunControl:
         engine = Engine()
         engine.run_until(42.0)
         assert engine.now == 42.0
+
+
+class TestHeapHygiene:
+    """Live-event accounting and automatic heap compaction."""
+
+    def test_pending_decrements_on_cancel(self):
+        engine = Engine()
+        handles = [engine.schedule_at(float(t), lambda: None) for t in range(10)]
+        assert engine.pending == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert engine.pending == 6
+
+    def test_double_cancel_counted_once(self):
+        engine = Engine()
+        h = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        h.cancel()
+        assert engine.pending == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        h = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        engine.step()
+        h.cancel()  # already fired: must not corrupt the live count
+        assert engine.pending == 1
+        assert engine.run() == 1
+
+    def test_garbage_tracks_cancelled_entries(self):
+        engine = Engine()
+        handles = [engine.schedule_at(float(t), lambda: None) for t in range(8)]
+        assert engine.garbage == 0
+        for h in handles[:3]:
+            h.cancel()
+        assert engine.garbage == 3
+        engine.run()
+        assert engine.garbage == 0
+
+    def test_auto_compaction_triggers_and_shrinks_heap(self):
+        engine = Engine(compact_min_garbage=4, compact_garbage_ratio=0.5)
+        keep = [engine.schedule_at(100.0 + t, lambda: None) for t in range(4)]
+        drop = [engine.schedule_at(50.0 + t, lambda: None) for t in range(8)]
+        for h in drop:
+            h.cancel()
+        assert engine.compactions >= 1
+        # Compaction purged the garbage present when it fired; only
+        # cancellations after the last compaction can remain.
+        assert engine.garbage < len(drop)
+        assert engine.pending == len(keep)
+
+    def test_compaction_disabled_by_high_threshold(self):
+        engine = Engine(compact_min_garbage=10_000)
+        for t in range(100):
+            engine.schedule_at(float(t) + 1000.0, lambda: None).cancel()
+        assert engine.compactions == 0
+        assert engine.garbage == 100
+
+    def test_explicit_compact_preserves_firing_order(self):
+        engine = Engine(compact_min_garbage=10_000)
+        fired = []
+        for t in (5.0, 1.0, 9.0, 3.0, 7.0):
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        engine.schedule_at(4.0, lambda: None).cancel()
+        engine.compact()
+        assert engine.compactions == 1
+        engine.run()
+        assert fired == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+    def test_invalid_compaction_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(compact_min_garbage=-1)
+        with pytest.raises(SimulationError):
+            Engine(compact_garbage_ratio=-0.5)
+
+
+class TestCompactionEquivalence:
+    """Property: compaction never changes observable behaviour.
+
+    Drives a randomised schedule/cancel workload through two engines —
+    one compacting after every cancellation, one never compacting —
+    and checks the event firing sequences are identical.
+    """
+
+    def _run_workload(self, engine, seed):
+        import random
+
+        rng = random.Random(seed)
+        fired = []
+        live = []
+
+        def make_cb(tag):
+            def cb():
+                fired.append((round(engine.now, 6), tag))
+                # Schedule a few follow-ups and cancel a random victim,
+                # mirroring the server's cancel-and-rearm churn.
+                for _ in range(rng.randrange(3)):
+                    live.append(
+                        engine.schedule(rng.uniform(0.1, 20.0), make_cb(len(fired)))
+                    )
+                if live and rng.random() < 0.6:
+                    live.pop(rng.randrange(len(live))).cancel()
+
+            return cb
+
+        for i in range(40):
+            live.append(engine.schedule_at(rng.uniform(0.0, 10.0), make_cb(-i)))
+        engine.run(max_events=600)
+        return fired, engine.events_run
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_always_vs_never_compacting_identical(self, seed):
+        eager = Engine(compact_min_garbage=0, compact_garbage_ratio=0.0)
+        lazy = Engine(compact_min_garbage=10**9)
+        fired_eager, count_eager = self._run_workload(eager, seed)
+        fired_lazy, count_lazy = self._run_workload(lazy, seed)
+        assert fired_eager == fired_lazy
+        assert count_eager == count_lazy
+        assert eager.compactions > 0
+        assert lazy.compactions == 0

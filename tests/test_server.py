@@ -290,3 +290,32 @@ class TestRecorderIntegration:
         server = make_server(FixedDegreePolicy(1))
         with pytest.raises(SimulationError):
             server.run_to_completion(1)
+
+
+class TestSamplerIdleShutdown:
+    """The CPU sampler unsubscribes while fully idle and re-arms on
+    the next submit — no event churn in idle tails."""
+
+    def test_engine_drains_after_completion(self):
+        server = make_server(FixedDegreePolicy(1))
+        server.submit(make_request(0, 10.0))
+        server.run_to_completion(1)
+        # Let any final sampler event fire: the engine must then drain
+        # completely instead of a sampler re-arming itself forever.
+        assert server.engine.run(max_events=10) <= 1
+        assert server.engine.pending == 0
+
+    def test_sampler_rearms_on_next_submit(self):
+        server = make_server(FixedDegreePolicy(1))
+        server.submit(make_request(0, 10.0))
+        server.run_to_completion(1)
+        server.engine.run()
+        idle_events = server.engine.events_run
+        # A long idle gap, then a second burst: sampling resumes and
+        # utilisation is measured over the new window, not the gap.
+        server.engine.run_until(server.engine.now + 10_000.0)
+        assert server.engine.events_run == idle_events
+        server.submit(make_request(1, 200.0))
+        server.engine.run_until(server.engine.now + 150.0)
+        assert server.cpu_utilization > 0.0
+        server.run_to_completion(2)
