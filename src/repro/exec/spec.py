@@ -366,6 +366,7 @@ class CellResult:
         policy_name: str,
         recorder: LatencyRecorder,
         wall_time_s: float = 0.0,
+        extras: dict[str, float] | None = None,
     ) -> "CellResult":
         """Extract the serializable outcome of a finished server run."""
         return cls(
@@ -382,6 +383,7 @@ class CellResult:
             max_degrees=np.asarray(recorder.max_degrees, dtype=np.int64),
             corrected=np.asarray(recorder.corrected, dtype=bool),
             wall_time_s=wall_time_s,
+            extras=extras if extras is not None else {},
         )
 
     def recorder(self) -> LatencyRecorder:

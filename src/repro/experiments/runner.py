@@ -96,6 +96,7 @@ def run_search_experiment(
     oracle_sigma: float = 0.0,
     rampup_interval_ms: float | None = None,
     speedup_book=None,
+    observation=None,
 ) -> ExperimentResult:
     """Run one policy at one load over a freshly sampled trace.
 
@@ -103,6 +104,11 @@ def run_search_experiment(
     different policies at the same ``(seed, qps)`` see the *same*
     request sequence and arrival times — paired comparisons, like
     replaying one query log against every policy.
+
+    ``observation`` (a :class:`repro.obs.Observation`) attaches the
+    observability layer — request spans, metrics, policy-decision
+    attribution — to the server before any request is submitted.  The
+    latency results are bit-identical with or without it.
     """
     if n_requests < 1:
         raise ConfigError("n_requests must be >= 1")
@@ -120,6 +126,8 @@ def run_search_experiment(
     )
     engine = Engine()
     server = Server(server_cfg, policy, engine=engine)
+    if observation is not None:
+        observation.attach(server)
     requests = workload.make_requests(
         n_requests,
         rngs.get("trace"),

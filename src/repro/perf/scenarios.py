@@ -1,6 +1,6 @@
 """Benchmark scenarios for the simulation hot path.
 
-Three scenarios at increasing integration depth:
+Scenarios at increasing integration depth:
 
 ``engine_only``
     A schedule/cancel storm on a bare :class:`~repro.sim.engine.Engine`
@@ -16,6 +16,11 @@ Three scenarios at increasing integration depth:
     home of that benchmark; :mod:`repro.gate.checks` imports it from
     here so the gate's ``perf_budget`` check and ``python -m
     repro.perf`` time the identical code.
+``tracing_overhead``
+    The hot-path benchmark run bare and then with the
+    :mod:`repro.obs` observability layer attached — budgets the
+    enabled-path penalty of tracing (the disabled path is covered by
+    the goldens staying bit-identical).
 ``end_to_end_cell``
     One :func:`repro.exec.run_cell` over a tiny search workload —
     corpus build, predictor training and simulation included — the
@@ -43,6 +48,7 @@ __all__ = [
     "SCENARIOS",
     "run_engine_only",
     "run_server_under_load",
+    "run_tracing_overhead",
     "run_end_to_end_cell",
     "scenario",
 ]
@@ -79,7 +85,7 @@ class HotpathResult:
 
 
 def run_hotpath_benchmark(
-    n_requests: int, seed: int = HOTPATH_SEED
+    n_requests: int, seed: int = HOTPATH_SEED, observation=None
 ) -> HotpathResult:
     """Time the discrete-event hot path on a synthetic workload.
 
@@ -90,6 +96,10 @@ def run_hotpath_benchmark(
     multi-second search-workload build.  The event count is
     bit-deterministic given ``(n_requests, seed)``; only the wall
     clock varies across machines.
+
+    ``observation`` (a :class:`repro.obs.Observation`) attaches the
+    observability layer before the run — the knob behind the
+    ``tracing_overhead`` scenario, which budgets exactly this delta.
     """
     from ..core.speedup import SpeedupBook, SpeedupProfile
     from ..policies.registry import make_policy
@@ -117,6 +127,8 @@ def run_hotpath_benchmark(
     )
     engine = Engine()
     server = Server(ServerConfig(), policy, engine=engine)
+    if observation is not None:
+        observation.attach(server)
     client = OpenLoopClient([server])
     started = time.perf_counter()
     client.schedule_trace(engine, requests, 500.0, rngs.get("arrivals"))
@@ -191,6 +203,55 @@ def run_server_under_load(
         "wall_time_s": result.wall_time_s,
         "events_per_s": result.events_per_s,
         "requests_per_s": result.requests_per_s,
+    }
+
+
+def run_tracing_overhead(
+    size: int, seed: int = HOTPATH_SEED
+) -> dict[str, float]:
+    """Observability-layer cost on the hot path: observed vs bare.
+
+    Runs the ``server_under_load`` benchmark twice — once bare, once
+    with a full :class:`repro.obs.Observation` attached (tracer,
+    metrics, span substrate) — and reports the events/sec penalty of
+    the enabled path.  The disabled path is covered elsewhere (goldens
+    and gate event counts are bit-identical without an observation);
+    this scenario budgets the *enabled* path, which the obs layer keeps
+    under a 15 % penalty.  Both runs execute the identical event trace
+    (``events_run`` matches by construction).
+    """
+    from ..obs.observe import Observation
+
+    # Interleave bare/observed repeats and keep the best of each, so
+    # the penalty compares the two variants' noise floors instead of
+    # whatever the machine was doing during one particular run.
+    run_hotpath_benchmark(min(size, 2_000), seed)  # warm-up
+    baseline: HotpathResult | None = None
+    observed: HotpathResult | None = None
+    observation = Observation()
+    for _ in range(3):
+        bare = run_hotpath_benchmark(size, seed)
+        if baseline is None or bare.events_per_s > baseline.events_per_s:
+            baseline = bare
+        observation = Observation()
+        traced = run_hotpath_benchmark(size, seed, observation=observation)
+        if observed is None or traced.events_per_s > observed.events_per_s:
+            observed = traced
+    assert baseline is not None and observed is not None
+    if observed.events_run != baseline.events_run:
+        raise ConfigError(
+            "tracing changed the event trace: "
+            f"{observed.events_run} != {baseline.events_run} events"
+        )
+    penalty = 1.0 - observed.events_per_s / baseline.events_per_s
+    return {
+        "size": float(size),
+        "events_run": float(observed.events_run),
+        "wall_time_s": observed.wall_time_s,
+        "events_per_s": observed.events_per_s,
+        "baseline_events_per_s": baseline.events_per_s,
+        "penalty_fraction": penalty,
+        "events_traced": float(len(observation.tracer.events)),
     }
 
 
@@ -281,6 +342,13 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             name="server_under_load",
             description="gate hot-path benchmark (AP policy, 500 qps)",
             runner=run_server_under_load,
+            fast_size=6_000,
+            full_size=20_000,
+        ),
+        ScenarioSpec(
+            name="tracing_overhead",
+            description="observed vs bare hot path (obs-layer penalty)",
+            runner=run_tracing_overhead,
             fast_size=6_000,
             full_size=20_000,
         ),

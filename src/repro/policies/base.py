@@ -30,6 +30,14 @@ class ParallelismPolicy(ABC):
     #: Human-readable policy name used in reports and the registry.
     name: str = "base"
 
+    #: Optional decision-attribution sink (duck-typed; see
+    #: :class:`repro.obs.attribution.DecisionLog`).  Policies that make
+    #: interesting decisions call ``observer.on_dispatch_decision`` /
+    #: ``observer.on_correction_check`` when this is not None; the
+    #: default None keeps the dispatch path branch-cheap and allocation
+    #: free, preserving the zero-overhead-when-disabled contract.
+    observer = None
+
     def bind(self, server: "Server") -> None:
         """Called once when attached to a server.  Default: no-op."""
 

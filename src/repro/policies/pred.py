@@ -39,6 +39,12 @@ class PredPolicy(ParallelismPolicy):
         self.fixed_degree = int(fixed_degree)
 
     def initial_degree(self, request: "Request", server: "Server") -> int:
-        if request.predicted_ms > self.long_threshold_ms:
-            return self.fixed_degree
-        return 1
+        degree = (
+            self.fixed_degree
+            if request.predicted_ms > self.long_threshold_ms
+            else 1
+        )
+        observer = self.observer
+        if observer is not None:
+            observer.on_dispatch_decision(request, server, degree)
+        return degree

@@ -51,9 +51,19 @@ class TPPolicy(ParallelismPolicy):
         target_ms = self.current_target(server)
         request.target_ms = target_ms
         profile = self.speedup_book.profile_for(request.predicted_ms)
-        return select_degree(
+        degree = select_degree(
             request.predicted_ms,
             target_ms,
             profile,
             server.config.max_parallelism,
         )
+        observer = self.observer
+        if observer is not None:
+            observer.on_dispatch_decision(
+                request,
+                server,
+                degree,
+                target_ms=target_ms,
+                load=load_value(server, self.load_metric),
+            )
+        return degree

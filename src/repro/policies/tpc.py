@@ -94,9 +94,19 @@ class TPCPolicy(TPPolicy):
         self, request: "Request", server: "Server"
     ) -> tuple[int | None, float | None]:
         assert self._controller is not None, "policy not bound to a server"
-        decision = self._controller.decide(
-            request.degree, self._spare_resources(server)
-        )
+        spare = self._spare_resources(server)
+        decision = self._controller.decide(request.degree, spare)
         if decision.new_degree is not None:
             request.corrected = True
+        observer = self.observer
+        if observer is not None:
+            observer.on_correction_check(
+                request,
+                server,
+                elapsed_ms=request.running_for(server.now),
+                target_ms=request.target_ms,
+                spare_workers=spare,
+                new_degree=decision.new_degree,
+                will_recheck=decision.recheck_after_ms is not None,
+            )
         return (decision.new_degree, decision.recheck_after_ms)

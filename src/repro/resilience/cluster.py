@@ -173,7 +173,9 @@ def run_shared_resilient(
         partner = rep.partner
         if partner is None or partner.request.state not in _LIVE:
             return
-        work_done = servers[partner.node].cancel_request(partner.request)
+        work_done = servers[partner.node].cancel_request(
+            partner.request, cause="hedge-superseded"
+        )
         node_live[partner.node].pop(id(partner.request), None)
         stats["cancelled_replicas"] += 1
         stats["wasted_work_ms"] += work_done
@@ -217,7 +219,9 @@ def run_shared_resilient(
         for rep in list(node_live[isn].values()):
             if rep.request.state not in _LIVE:  # pragma: no cover - guard
                 continue
-            work_done = servers[isn].cancel_request(rep.request)
+            work_done = servers[isn].cancel_request(
+                rep.request, cause="blackout"
+            )
             node_live[isn].pop(id(rep.request), None)
             stats["cancelled_replicas"] += 1
             stats["wasted_work_ms"] += work_done

@@ -67,6 +67,7 @@ class Request:
         "degree_changes",
         "check_handle",
         "service_speedup",
+        "cancel_cause",
     )
 
     def __init__(
@@ -103,6 +104,10 @@ class Request:
         #: classes while the request runs (hot-path: avoids a profile
         #: lookup per event).
         self.service_speedup = 1.0
+        #: Why the request was withdrawn (``Server.cancel_request``'s
+        #: ``cause``); None while live, completed, or when no cause was
+        #: given.
+        self.cancel_cause: str | None = None
 
     @property
     def response_ms(self) -> float:

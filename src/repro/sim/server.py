@@ -101,6 +101,12 @@ class Server:
         #: Optional hook invoked with each completed request (used by
         #: the cluster aggregator to observe ISN completions).
         self.completion_callback = completion_callback
+        #: Optional hook invoked with each request the moment it is
+        #: dispatched (degree already assigned).  This is the tracing
+        #: seam of :func:`repro.sim.tracing.attach_tracer`: a single
+        #: attribute-is-None test per dispatched request when disabled,
+        #: so observability stays effectively free unless attached.
+        self.dispatch_callback = None
 
         self.waiting: deque[Request] = deque()
         self.running: list[Request] = []
@@ -219,6 +225,7 @@ class Server:
         initial_degree = self.policy.initial_degree
         max_parallelism = self.config.max_parallelism
         full_pool = self.config.worker_threads
+        dispatch_callback = self.dispatch_callback
         while waiting:
             limit = self._worker_limit
             idle = (full_pool if limit is None else limit) - self._busy_workers
@@ -242,6 +249,8 @@ class Server:
                 self._long_threads += degree
             self.running.append(request)
             self._class_join(request)
+            if dispatch_callback is not None:
+                dispatch_callback(request)
             delay = self.policy.first_check_delay(request, self)
             if delay is not None:
                 request.check_handle = self.engine.schedule(
@@ -313,13 +322,16 @@ class Server:
         self._dispatch()
         self._reschedule_completion()
 
-    def cancel_request(self, request: Request) -> float:
+    def cancel_request(self, request: Request, cause: str | None = None) -> float:
         """Withdraw a queued or running request; returns executed work (ms).
 
         Frees the request's workers immediately and cancels its pending
         runtime-check event through the engine's event-cancel machinery
         (tied-request cancellation, replica kills).  Cancelled requests
-        never reach the recorder or the completion callback.
+        never reach the recorder or the completion callback.  ``cause``
+        names why the request was withdrawn (``"hedge-superseded"``,
+        ``"blackout"``, ...); it is stored on the request and surfaces
+        in traces as the terminal cause.
         """
         if request.state is RequestState.QUEUED:
             try:
@@ -330,6 +342,7 @@ class Server:
                 ) from None
             request.state = RequestState.CANCELLED
             request.finish_ms = self.now
+            request.cancel_cause = cause
             self.cancelled_count += 1
             return 0.0
         if request.state is not RequestState.RUNNING:
@@ -356,6 +369,7 @@ class Server:
         self.running.remove(request)
         request.state = RequestState.CANCELLED
         request.finish_ms = self.now
+        request.cancel_cause = cause
         self.cancelled_count += 1
         self._dispatch()
         self._reschedule_completion()

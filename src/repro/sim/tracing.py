@@ -3,16 +3,22 @@
 Optional observability layer: attach a :class:`RequestTracer` to a
 server and it records a timestamped event timeline for every request —
 arrival, dispatch (with chosen degree), every degree change, and
-completion.  Useful for debugging policies, for the examples, and for
-asserting fine-grained scheduling behaviour in tests without poking at
-server internals.
+completion or cancellation (with its cause).  Useful for debugging
+policies, for the examples, for asserting fine-grained scheduling
+behaviour in tests without poking at server internals, and as the
+event substrate of the :mod:`repro.obs` span/metrics layer.
+
+Tracing is strictly opt-in: an unattached server runs the exact same
+code it always did (:func:`attach_tracer` wraps the lifecycle methods
+of one server instance and plugs into its ``dispatch_callback`` hook;
+nothing global changes), so the disabled path stays bit-identical.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+import warnings
+from typing import TYPE_CHECKING, Callable, NamedTuple
 
 from ..errors import SimulationError
 
@@ -36,51 +42,141 @@ class TraceEventKind(enum.Enum):
     CANCELLED = "cancelled"
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One timeline entry of one request."""
+class TraceEvent(NamedTuple):
+    """One timeline entry of one request.
+
+    ``cause`` is only populated on CANCELLED events, naming why the
+    request was withdrawn (e.g. ``"hedge-superseded"``, ``"blackout"``);
+    None means the caller gave no reason.
+
+    A NamedTuple rather than a dataclass: events are built once per
+    traced lifecycle transition, so construction cost is the floor of
+    the enabled-path tracing overhead.
+    """
 
     time_ms: float
     rid: int
     kind: TraceEventKind
     degree: int
+    cause: str | None = None
 
     def __str__(self) -> str:
+        suffix = f", cause={self.cause}" if self.cause is not None else ""
         return (
             f"[{self.time_ms:9.3f} ms] request {self.rid}: "
-            f"{self.kind.value} (degree={self.degree})"
+            f"{self.kind.value} (degree={self.degree}{suffix})"
         )
 
 
 class RequestTracer:
-    """Collects :class:`TraceEvent` timelines from one server."""
+    """Collects :class:`TraceEvent` timelines from one server.
+
+    Recording is a bare list append — the hot path pays nothing for
+    indexing.  A per-request index is built lazily (and cached) on the
+    first timeline query after new events arrive, so :meth:`timeline`
+    is O(events of that request) amortised instead of a full scan per
+    call — span assembly over large traces stays linear overall.
+
+    When ``capacity`` is set, events beyond it are dropped; the drop
+    count is exposed as :attr:`dropped` and the first drop emits a
+    one-line :class:`RuntimeWarning` so truncated traces never pass
+    silently.
+    """
 
     def __init__(self, capacity: int | None = None) -> None:
         if capacity is not None and capacity < 1:
             raise SimulationError("capacity must be >= 1 or None")
         self.capacity = capacity
+        #: Hot-path storage.  The attach_tracer wrappers append plain
+        #: 5-tuples here (field order of :class:`TraceEvent`);
+        #: :meth:`_materialize` upgrades them to TraceEvent lazily, so
+        #: the simulation never pays NamedTuple construction.
         self._events: list[TraceEvent] = []
+        self._timelines: dict[int, list[TraceEvent]] = {}
+        #: Number of events the lazy index has consumed (index is stale
+        #: whenever the event list is longer than this).
+        self._indexed = 0
+        #: Number of events known to be materialized TraceEvents.
+        self._materialized = 0
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        """Number of recorded (kept) events."""
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because :attr:`capacity` was reached."""
+        return self._dropped
+
+    def _note_drop(self) -> None:
+        self._dropped += 1
+        if self._dropped == 1:
+            warnings.warn(
+                f"RequestTracer capacity ({self.capacity}) reached; "
+                "dropping further trace events (see tracer.dropped)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     def record(
-        self, time_ms: float, rid: int, kind: TraceEventKind, degree: int
+        self,
+        time_ms: float,
+        rid: int,
+        kind: TraceEventKind,
+        degree: int,
+        cause: str | None = None,
     ) -> None:
-        """Append one event (drops silently once capacity is reached)."""
+        """Append one event (drops, counted, once capacity is reached)."""
+        self.record_event(TraceEvent(time_ms, rid, kind, degree, cause))
+
+    def record_event(self, event: TraceEvent) -> None:
+        """Append a pre-built event (the hook wrappers' entry point)."""
         if self.capacity is not None and len(self._events) >= self.capacity:
+            self._note_drop()
             return
-        self._events.append(TraceEvent(time_ms, rid, kind, degree))
+        self._events.append(event)
+
+    def _materialize(self) -> list[TraceEvent]:
+        """Upgrade any raw event tuples to TraceEvent, in place."""
+        events = self._events
+        if self._materialized != len(events):
+            make = TraceEvent._make
+            for i in range(self._materialized, len(events)):
+                event = events[i]
+                if type(event) is not TraceEvent:
+                    events[i] = make(event)
+            self._materialized = len(events)
+        return events
+
+    def _index(self) -> dict[int, list[TraceEvent]]:
+        """The per-rid index, (re)built lazily after new events."""
+        self._materialize()
+        if self._indexed != len(self._events):
+            start = self._indexed
+            timelines = self._timelines
+            for event in self._events[start:]:
+                timeline = timelines.get(event.rid)
+                if timeline is None:
+                    timelines[event.rid] = [event]
+                else:
+                    timeline.append(event)
+            self._indexed = len(self._events)
+        return self._timelines
 
     @property
     def events(self) -> tuple[TraceEvent, ...]:
         """All recorded events in simulation order."""
-        return tuple(self._events)
+        return tuple(self._materialize())
 
     def timeline(self, rid: int) -> list[TraceEvent]:
-        """Events of one request, in order."""
-        return [e for e in self._events if e.rid == rid]
+        """Events of one request, in order (amortised O(own events))."""
+        timeline = self._index().get(rid)
+        return list(timeline) if timeline is not None else []
 
     def requests_traced(self) -> set[int]:
         """Ids of all requests with at least one event."""
-        return {e.rid for e in self._events}
+        return set(self._index())
 
     def degree_changes(self, rid: int) -> list[tuple[float, int]]:
         """(time, new_degree) pairs of one request's mid-flight changes."""
@@ -111,7 +207,7 @@ class RequestTracer:
         last_time: dict[int, float] = {}
         last_stage: dict[int, int] = {}
         done: set[int] = set()
-        for event in self._events:
+        for event in self._materialize():
             if event.rid in done:
                 raise SimulationError(
                     f"request {event.rid} has events after completion"
@@ -141,82 +237,161 @@ class RequestTracer:
 
 
 def attach_tracer(
-    server: "Server", capacity: int | None = None
+    server: "Server",
+    capacity: int | None = None,
+    tracer: RequestTracer | None = None,
+    on_event: "Callable[[TraceEvent, Request], None] | None" = None,
+    on_arrival: "Callable[[Request], None] | None" = None,
 ) -> RequestTracer:
-    """Instrument a server with a tracer (wraps its internal hooks).
+    """Instrument a server with a tracer (wraps its lifecycle hooks).
 
-    Must be called before any request is submitted.
+    Must be called before any request is submitted.  ``tracer`` lets
+    several servers of one cluster share a tracer (or lets callers
+    supply a pre-configured one).  ``on_event`` is invoked with every
+    event *and* its live request — even events the tracer drops at
+    capacity.  ``on_arrival`` is invoked once per submitted request
+    (with the live request only); it is the cheap hook
+    :class:`repro.obs.Observation` uses to capture ground-truth demand
+    info without paying a callback per event.
     """
     if server.running or server.waiting or len(server.recorder):
         raise SimulationError("attach_tracer requires a fresh server")
-    tracer = RequestTracer(capacity)
+    if server.dispatch_callback is not None:
+        raise SimulationError("server already has a dispatch_callback")
+    if tracer is None:
+        tracer = RequestTracer(capacity)
 
     original_submit = server.submit
-    original_dispatch = server._dispatch
     original_raise = server.raise_degree
     original_complete = server._complete
     original_cancel = server.cancel_request
+    # Pre-bound hot-path locals: the wrappers run once per lifecycle
+    # transition of every request, so each saved attribute lookup counts
+    # against the enabled-path overhead budget.  An uncapped tracer
+    # records through the raw list append — no capacity check at all.
+    record_event = (
+        tracer._events.append
+        if tracer.capacity is None
+        else tracer.record_event
+    )
+    engine = server.engine  # server.now is a property; engine.now is flat
+    arrival_kind = TraceEventKind.ARRIVAL
+    dispatch_kind = TraceEventKind.DISPATCH
+    change_kind = TraceEventKind.DEGREE_CHANGE
+    completion_kind = TraceEventKind.COMPLETION
+    cancelled_kind = TraceEventKind.CANCELLED
 
-    def submit(request: "Request") -> None:
-        original_submit(request)
-        # submit() may have dispatched the request immediately; the
-        # arrival event is still recorded first, then the dispatch.
-        tracer._events.insert(
-            _find_insert_point(tracer, server.now, request.rid),
-            TraceEvent(server.now, request.rid, TraceEventKind.ARRIVAL, 0),
-        )
+    if on_event is None:
+        # Fast wrapper set: record plain 5-tuples (TraceEvent field
+        # order) and let the tracer materialize NamedTuples lazily on
+        # the first query — the hot path never pays construction.
+        def submit(request: "Request") -> None:
+            # Recorded before the submit call so that an immediate
+            # same-instant dispatch lands after the arrival — timelines
+            # always read arrival -> dispatch with a plain append.
+            record_event((engine.now, request.rid, arrival_kind, 0, None))
+            original_submit(request)
+            if on_arrival is not None:
+                on_arrival(request)
 
-    def dispatch() -> None:
-        already_running = {id(r) for r in server.running}
-        original_dispatch()
-        for request in server.running:
-            if id(request) not in already_running:
-                tracer.record(
-                    server.now,
-                    request.rid,
-                    TraceEventKind.DISPATCH,
-                    request.degree,
-                )
-
-    def raise_degree(request: "Request", new_degree: int) -> int:
-        before = request.degree
-        granted = original_raise(request, new_degree)
-        if granted > before:
-            tracer.record(
-                server.now, request.rid, TraceEventKind.DEGREE_CHANGE, granted
+        def on_dispatch(request: "Request") -> None:
+            record_event(
+                (engine.now, request.rid, dispatch_kind, request.degree, None)
             )
-        return granted
 
-    def complete(request: "Request") -> None:
-        original_complete(request)
-        tracer.record(
-            server.now, request.rid, TraceEventKind.COMPLETION, request.degree
-        )
+        def raise_degree(request: "Request", new_degree: int) -> int:
+            before = request.degree
+            granted = original_raise(request, new_degree)
+            if granted > before:
+                record_event(
+                    (engine.now, request.rid, change_kind, granted, None)
+                )
+            return granted
 
-    def cancel_request(request: "Request") -> float:
-        degree = request.degree
-        work_done = original_cancel(request)
-        tracer.record(
-            server.now, request.rid, TraceEventKind.CANCELLED, degree
-        )
-        return work_done
+        def complete(request: "Request") -> None:
+            original_complete(request)
+            record_event(
+                (
+                    engine.now,
+                    request.rid,
+                    completion_kind,
+                    request.degree,
+                    None,
+                )
+            )
+
+        def cancel_request(
+            request: "Request", cause: str | None = None
+        ) -> float:
+            degree = request.degree
+            work_done = original_cancel(request, cause)
+            record_event(
+                (
+                    engine.now,
+                    request.rid,
+                    cancelled_kind,
+                    degree,
+                    request.cancel_cause,
+                )
+            )
+            return work_done
+
+    else:
+        # Callback wrapper set: ``on_event`` receives real TraceEvents,
+        # so they are built eagerly here.
+        def submit(request: "Request") -> None:
+            event = TraceEvent(engine.now, request.rid, arrival_kind, 0)
+            record_event(event)
+            on_event(event, request)
+            original_submit(request)
+            if on_arrival is not None:
+                on_arrival(request)
+
+        def on_dispatch(request: "Request") -> None:
+            event = TraceEvent(
+                engine.now, request.rid, dispatch_kind, request.degree
+            )
+            record_event(event)
+            on_event(event, request)
+
+        def raise_degree(request: "Request", new_degree: int) -> int:
+            before = request.degree
+            granted = original_raise(request, new_degree)
+            if granted > before:
+                event = TraceEvent(
+                    engine.now, request.rid, change_kind, granted
+                )
+                record_event(event)
+                on_event(event, request)
+            return granted
+
+        def complete(request: "Request") -> None:
+            original_complete(request)
+            event = TraceEvent(
+                engine.now, request.rid, completion_kind, request.degree
+            )
+            record_event(event)
+            on_event(event, request)
+
+        def cancel_request(
+            request: "Request", cause: str | None = None
+        ) -> float:
+            degree = request.degree
+            work_done = original_cancel(request, cause)
+            event = TraceEvent(
+                engine.now,
+                request.rid,
+                cancelled_kind,
+                degree,
+                request.cancel_cause,
+            )
+            record_event(event)
+            on_event(event, request)
+            return work_done
 
     server.submit = submit  # type: ignore[method-assign]
-    server._dispatch = dispatch  # type: ignore[method-assign]
+    server.dispatch_callback = on_dispatch
     server.raise_degree = raise_degree  # type: ignore[method-assign]
     server._complete = complete  # type: ignore[method-assign]
     server.cancel_request = cancel_request  # type: ignore[method-assign]
     return tracer
-
-
-def _find_insert_point(tracer: RequestTracer, now: float, rid: int) -> int:
-    """Index before any same-time events of ``rid`` (its dispatch)."""
-    events = tracer._events
-    index = len(events)
-    while index > 0:
-        prev = events[index - 1]
-        if prev.rid == rid and prev.time_ms >= now - 1e-12:
-            index -= 1
-        else:
-            break
-    return index

@@ -25,6 +25,7 @@ class TestScenarioRegistry:
         assert set(SCENARIOS) == {
             "engine_only",
             "server_under_load",
+            "tracing_overhead",
             "end_to_end_cell",
         }
         for spec in SCENARIOS.values():

@@ -145,9 +145,81 @@ class TestValidation:
 
     def test_capacity_caps_recording(self):
         tracer = RequestTracer(capacity=2)
-        for t in range(5):
-            tracer.record(float(t), t, TraceEventKind.ARRIVAL, 0)
+        with pytest.warns(RuntimeWarning, match="capacity"):
+            for t in range(5):
+                tracer.record(float(t), t, TraceEventKind.ARRIVAL, 0)
         assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+    def test_drop_warning_emitted_exactly_once(self):
+        tracer = RequestTracer(capacity=1)
+        tracer.record(0.0, 0, TraceEventKind.ARRIVAL, 0)
+        with pytest.warns(RuntimeWarning) as caught:
+            tracer.record(1.0, 1, TraceEventKind.ARRIVAL, 0)
+            tracer.record(2.0, 2, TraceEventKind.ARRIVAL, 0)
+        drops = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(drops) == 1
+        assert tracer.dropped == 2
+
+    def test_cancelled_interplay_with_capacity(self):
+        # A tracer that fills up mid-run must still count drops while a
+        # cancellation happens past the cap, and the kept prefix stays
+        # a valid (if truncated) trace.
+        server = Server(
+            ServerConfig(worker_threads=2, max_parallelism=2),
+            FixedDegreePolicy(2),
+            engine=Engine(),
+        )
+        tracer = attach_tracer(server, capacity=3)
+        kept = make_request(0, 50.0)
+        doomed = make_request(1, 50.0)
+        server.submit(kept)  # arrival + dispatch -> 2 events
+        server.engine.run_until(5.0)
+        # All workers busy: doomed queues, so only its arrival is
+        # recorded -> exactly at capacity.
+        server.submit(doomed)
+        server.engine.run_until(10.0)
+        with pytest.warns(RuntimeWarning, match="capacity"):
+            server.cancel_request(doomed, cause="hedge-superseded")
+        assert len(tracer.events) == 3
+        assert tracer.dropped >= 1
+        assert [e.kind for e in tracer.timeline(1)] == [
+            TraceEventKind.ARRIVAL
+        ]
+        tracer.validate()  # truncated but well-formed
+
+    def test_cancel_cause_recorded(self):
+        server = Server(
+            ServerConfig(), FixedDegreePolicy(2), engine=Engine()
+        )
+        tracer = attach_tracer(server)
+        req = make_request(0, 50.0)
+        server.submit(req)
+        server.engine.run_until(10.0)
+        server.cancel_request(req, cause="hedge-superseded")
+        cancelled = tracer.timeline(0)[-1]
+        assert cancelled.kind is TraceEventKind.CANCELLED
+        assert cancelled.cause == "hedge-superseded"
+
+    def test_timeline_index_matches_full_scan(self):
+        # The lazy per-rid index (satellite: O(own events) timelines)
+        # must agree with a brute-force scan, including when queries
+        # interleave with new recordings.
+        server, tracer = traced_server(
+            FixedDegreePolicy(1), worker_threads=2, max_parallelism=2
+        )
+        for i in range(10):
+            server.submit(make_request(i, 5.0 + 3 * i))
+        server.engine.run_until(20.0)
+        mid = tracer.timeline(0)  # force an index build mid-run
+        assert mid == [e for e in tracer.events if e.rid == 0]
+        server.run_to_completion(10)
+        for rid in tracer.requests_traced():
+            assert tracer.timeline(rid) == [
+                e for e in tracer.events if e.rid == rid
+            ]
 
     def test_attach_requires_fresh_server(self):
         server = Server(ServerConfig(), FixedDegreePolicy(1), engine=Engine())
